@@ -1,0 +1,7 @@
+package repro_test
+
+import "runtime"
+
+// yieldNow is a test helper indirection so benchmarks can reference a
+// yield without importing runtime in multiple places.
+func yieldNow() { runtime.Gosched() }

@@ -1,0 +1,301 @@
+// Command spbench regenerates the paper's tables and the quantitative
+// claims of its theorems as text tables (the experiment index lives in
+// DESIGN.md §3; results are recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	spbench [-table fig3|t5|c6|t10|s7|all] [-quick]
+//
+// On single-CPU hosts the Theorem 10 experiment measures overhead scaling
+// (steals, retries, lock traffic) rather than wall-clock speedup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/race"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+var quick = flag.Bool("quick", false, "smaller workloads, fewer repetitions")
+
+func main() {
+	table := flag.String("table", "all", "which experiment: fig3|t5|c6|t10|s7|all")
+	flag.Parse()
+
+	fmt.Printf("spbench: GOMAXPROCS=%d NumCPU=%d quick=%v\n\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), *quick)
+	switch *table {
+	case "fig3":
+		fig3()
+	case "t5":
+		theorem5()
+	case "c6":
+		corollary6()
+	case "t10":
+		theorem10()
+	case "s7":
+		section7()
+	case "all":
+		fig3()
+		theorem5()
+		corollary6()
+		theorem10()
+		section7()
+	default:
+		fmt.Println("unknown table:", *table)
+	}
+}
+
+// timeIt runs f repeatedly and returns the best wall time. A GC cycle
+// runs first so one experiment's garbage is not charged to the next.
+func timeIt(reps int, f func()) time.Duration {
+	runtime.GC()
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		if el := time.Since(start); el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+func reps() int {
+	if *quick {
+		return 2
+	}
+	return 3
+}
+
+// fig3 reproduces the comparison table of Figure 3: space per node, time
+// per thread creation, time per query, for all four serial algorithms.
+func fig3() {
+	fmt.Println("=== Figure 3: serial SP-maintenance algorithms ===")
+	n := 20000
+	qn := 200000
+	if *quick {
+		n, qn = 4000, 20000
+	}
+	cfg := repro.DefaultGenConfig(n)
+	cfg.PProb = 0.7
+	tr := repro.Generate(cfg, repro.NewRand(1))
+	canon, _ := repro.Canonicalize(tr)
+	deep := repro.WideFan(n/2, 1) // maximal nesting: worst case for labels
+	deepCanon, _ := repro.Canonicalize(deep)
+	threads := deep.Threads()
+	rng := repro.NewRand(2)
+
+	type row struct {
+		name            string
+		spaceWords      float64
+		creationNsPerTh float64
+		queryNs         float64
+	}
+	var rows []row
+
+	// English-Hebrew.
+	{
+		el := timeIt(reps(), func() { repro.LabelEnglishHebrew(tr) })
+		eh := repro.LabelEnglishHebrew(deep)
+		q := timeIt(reps(), func() {
+			for i := 0; i < qn; i++ {
+				eh.Precedes(threads[rng.Intn(len(threads))], threads[rng.Intn(len(threads))])
+			}
+		})
+		rows = append(rows, row{"English-Hebrew", float64(eh.MaxLabelWords()),
+			float64(el.Nanoseconds()) / float64(n), float64(q.Nanoseconds()) / float64(qn)})
+	}
+	// Offset-span.
+	{
+		el := timeIt(reps(), func() { repro.LabelOffsetSpan(tr) })
+		osl := repro.LabelOffsetSpan(deep)
+		q := timeIt(reps(), func() {
+			for i := 0; i < qn; i++ {
+				osl.Precedes(threads[rng.Intn(len(threads))], threads[rng.Intn(len(threads))])
+			}
+		})
+		rows = append(rows, row{"Offset-Span", float64(osl.MaxLabelWords()),
+			float64(el.Nanoseconds()) / float64(n), float64(q.Nanoseconds()) / float64(qn)})
+	}
+	// SP-bags.
+	{
+		el := timeIt(reps(), func() {
+			b := repro.NewSPBags(canon)
+			b.Run(nil)
+		})
+		b := repro.NewSPBags(deepCanon)
+		b.Run(nil)
+		dthreads := deepCanon.Threads()
+		q := timeIt(reps(), func() {
+			for i := 0; i < qn; i++ {
+				b.PrecedesCurrent(dthreads[rng.Intn(len(dthreads))])
+			}
+		})
+		rows = append(rows, row{"SP-Bags", 2,
+			float64(el.Nanoseconds()) / float64(n), float64(q.Nanoseconds()) / float64(qn)})
+	}
+	// SP-order.
+	{
+		el := timeIt(reps(), func() {
+			sp := repro.NewSPOrder(tr)
+			sp.Run(nil)
+		})
+		sp := repro.NewSPOrder(deep)
+		sp.Run(nil)
+		q := timeIt(reps(), func() {
+			for i := 0; i < qn; i++ {
+				sp.Precedes(threads[rng.Intn(len(threads))], threads[rng.Intn(len(threads))])
+			}
+		})
+		rows = append(rows, row{"SP-Order", 4,
+			float64(el.Nanoseconds()) / float64(n), float64(q.Nanoseconds()) / float64(qn)})
+	}
+
+	fmt.Printf("%-16s %18s %18s %14s\n", "algorithm", "space (words/node)", "creation (ns/thr)", "query (ns)")
+	for _, r := range rows {
+		fmt.Printf("%-16s %18.0f %18.1f %14.1f\n", r.name, r.spaceWords, r.creationNsPerTh, r.queryNs)
+	}
+	fmt.Printf("(paper: EH space Θ(f), OS space Θ(d), SP-bags/SP-order Θ(1); queries Θ(f)/Θ(d)/Θ(α)/Θ(1))\n\n")
+}
+
+// theorem5 checks SP-order construction is O(n).
+func theorem5() {
+	fmt.Println("=== Theorem 5: SP-order construction is O(n) ===")
+	ns := []int{1000, 10000, 100000, 1000000}
+	if *quick {
+		ns = []int{1000, 10000, 100000}
+	}
+	var xs, ys []float64
+	fmt.Printf("%12s %14s %14s %16s\n", "n (threads)", "total", "ns/thread", "relabels/thread")
+	for _, n := range ns {
+		tr := repro.Generate(repro.DefaultGenConfig(n), repro.NewRand(int64(n)))
+		var relabels int64
+		el := timeIt(reps(), func() {
+			sp := repro.NewSPOrder(tr)
+			sp.Run(nil)
+			_, relabels, _ = sp.Stats()
+		})
+		xs = append(xs, float64(n))
+		ys = append(ys, float64(el.Nanoseconds()))
+		fmt.Printf("%12d %14v %14.1f %16.2f\n", n, el.Round(time.Microsecond),
+			float64(el.Nanoseconds())/float64(n), float64(relabels)/float64(n))
+	}
+	k := stats.GrowthExponent(xs, ys)
+	fmt.Printf("growth exponent (1.0 = linear): %.3f   ratio spread: %.2f\n\n",
+		k, stats.RatioSpread(xs, ys))
+}
+
+// corollary6 checks race detection is O(T1) with SP-order and compares
+// backends.
+func corollary6() {
+	fmt.Println("=== Corollary 6: race detection in O(T1) ===")
+	fibs := []int{12, 15, 18, 21}
+	if *quick {
+		fibs = []int{10, 13, 16}
+	}
+	backends := []repro.Backend{
+		repro.BackendSPOrder, repro.BackendSPBags,
+		repro.BackendEnglishHebrew, repro.BackendOffsetSpan,
+	}
+	fmt.Printf("%8s %12s", "fib", "T1")
+	for _, b := range backends {
+		fmt.Printf(" %16s", b)
+	}
+	fmt.Println(" (total detection time)")
+	perBackend := map[repro.Backend][]float64{}
+	var t1s []float64
+	for _, n := range fibs {
+		// All-reads sharing: race-free, but every access costs one SP
+		// query, so the measurement is maintenance + queries without
+		// race-report allocation noise.
+		tr := workload.ReadOnlyAccesses(repro.FibTree(n, 1), 8, 256, repro.NewRand(3))
+		t1 := float64(tr.Work() + int64(8*tr.NumThreads()))
+		t1s = append(t1s, t1)
+		fmt.Printf("%8d %12.0f", n, t1)
+		for _, b := range backends {
+			el := timeIt(reps(), func() { repro.DetectSerial(tr, b) })
+			perBackend[b] = append(perBackend[b], float64(el.Nanoseconds()))
+			fmt.Printf(" %16v", el.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Println("growth exponent of time vs T1 (1.0 = the O(T1) claim):")
+	for _, b := range backends {
+		fmt.Printf("  %-16s %.3f\n", b, stats.GrowthExponent(t1s, perBackend[b]))
+	}
+	fmt.Println()
+}
+
+// theorem10 compares SP-hybrid against the naive locked parallelization
+// across worker counts.
+func theorem10() {
+	fmt.Println("=== Theorem 10: SP-hybrid vs naive locked SP-order ===")
+	fib := 18
+	if *quick {
+		fib = 14
+	}
+	tr := repro.FibWithAccesses(fib, 4, 512, true, repro.NewRand(4))
+	canon, _ := repro.Canonicalize(tr)
+	fmt.Printf("workload: fib(%d), %d threads, T1=%d, T∞=%d, lg n ≈ %.1f\n",
+		fib, canon.NumThreads(), canon.Work(), canon.Span(), lg(float64(canon.NumThreads())))
+	fmt.Printf("%4s | %12s %10s %10s %12s | %12s %16s\n",
+		"P", "hybrid time", "steals", "splits", "retries", "naive time", "naive lock acqs")
+	for _, p := range []int{1, 2, 4, 8} {
+		var hst repro.ParallelRaceReport
+		hel := timeIt(reps(), func() { hst = repro.DetectParallel(canon, p, 1, true) })
+		var nst race.NaiveReport
+		nel := timeIt(reps(), func() { nst = race.DetectParallelNaive(canon, p, 1, true) })
+		fmt.Printf("%4d | %12v %10d %10d %12d | %12v %16d\n",
+			p, hel.Round(time.Microsecond), hst.Stats.Steals, hst.Stats.Splits,
+			hst.Stats.QueryRetries, nel.Round(time.Microsecond), nst.LockAcquisitions)
+	}
+	fmt.Println("(hybrid's global-lock traffic is O(steals); naive locks EVERY insert+query: Θ(T1))")
+	fmt.Println()
+}
+
+// section7 relates steal counts to P·T∞ across shapes.
+func section7() {
+	fmt.Println("=== Section 7: steals vs P·T∞ across shapes ===")
+	n := 4096
+	if *quick {
+		n = 1024
+	}
+	shapes := []struct {
+		name string
+		tree *repro.Tree
+	}{
+		{"fan (tiny T∞)", repro.WideFan(n, 4)},
+		{"balanced", repro.BalancedPTree(12, 4)},
+		{"fib(16)", repro.FibTree(16, 2)},
+		{"chain (T∞=T1)", repro.DeepChain(n, 4)},
+	}
+	fmt.Printf("%-16s %10s %10s %12s %10s %10s\n", "shape", "T1", "T∞", "T∞(struct)", "steals", "traces")
+	for _, s := range shapes {
+		canon := s.tree
+		if !repro.IsCanonical(canon) {
+			canon, _ = repro.Canonicalize(canon)
+		}
+		h := repro.NewSPHybrid(canon, func(w int, u *repro.Node) { runtime.Gosched() })
+		st := h.Run(4, 1)
+		fmt.Printf("%-16s %10d %10d %12d %10d %10d\n",
+			s.name, canon.Work(), canon.Span(), canon.StructuralSpan(), st.Steals, st.Traces)
+	}
+	fmt.Println("(steals track the STRUCTURAL T∞, which includes spawn overhead on the critical path:\n zero for the chain, Θ(n) for the fan's spawn spine, small for balanced/fib)")
+	fmt.Println()
+}
+
+func lg(x float64) float64 {
+	l := 0.0
+	for x > 1 {
+		x /= 2
+		l++
+	}
+	return l
+}

@@ -1,0 +1,101 @@
+// Command spviz prints the paper's worked example: the computation dag of
+// Figure 1, the SP parse tree of Figure 2, and the English/Hebrew indices
+// of Figure 4, then verifies the two relations quoted in Section 1
+// (u1 ≺ u4 and u1 ∥ u6) with the SP-order algorithm.
+//
+// Usage:
+//
+//	spviz [-random n] [-seed s]
+//
+// With -random n it instead generates a random n-thread program and
+// prints its tree, dag, and orderings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/spt"
+)
+
+func main() {
+	randomN := flag.Int("random", 0, "visualize a random program with n threads instead of the paper example")
+	seed := flag.Int64("seed", 1, "random seed for -random")
+	flag.Parse()
+
+	var tree *repro.Tree
+	if *randomN > 0 {
+		tree = repro.Generate(repro.DefaultGenConfig(*randomN), repro.NewRand(*seed))
+		fmt.Printf("Random SP program: %d threads, work=%d, span=%d\n\n",
+			tree.NumThreads(), tree.Work(), tree.Span())
+	} else {
+		tree = repro.PaperExample()
+		fmt.Println("Paper example (Figures 1, 2, and 4)")
+		fmt.Println()
+	}
+
+	fmt.Println("SP parse tree (Figure 2):")
+	fmt.Println(tree.Format())
+
+	fmt.Println("Computation dag (Figure 1):")
+	dag := tree.ToDag()
+	if err := dag.CheckAcyclic(); err != nil {
+		fmt.Fprintln(os.Stderr, "dag invalid:", err)
+		os.Exit(1)
+	}
+	fmt.Println(dag.Format())
+
+	fmt.Println("English-Hebrew indices (Figure 4, 0-based):")
+	eng, heb := tree.EnglishHebrewIndex()
+	fmt.Printf("  %-10s %8s %8s\n", "thread", "E[u]", "H[u]")
+	for _, u := range tree.Threads() {
+		fmt.Printf("  %-10s %8d %8d\n", u, eng[u.ID], heb[u.ID])
+	}
+	fmt.Println()
+
+	if *randomN == 0 {
+		// Verify the Section 1 relations with SP-order on the fly.
+		sp := repro.NewSPOrder(tree)
+		sp.Run(nil)
+		threads := tree.Threads()
+		u1, u4, u6 := threads[1], threads[4], threads[6]
+		fmt.Printf("SP-order: u1 ≺ u4 ? %v   (paper: true, lca S1 is an S-node)\n", sp.Precedes(u1, u4))
+		fmt.Printf("SP-order: u1 ∥ u6 ? %v   (paper: true, lca P1 is a P-node)\n", sp.Parallel(u1, u6))
+	} else {
+		demoRelations(tree)
+	}
+}
+
+// demoRelations prints the relation matrix of the first few threads.
+func demoRelations(tree *repro.Tree) {
+	o := repro.NewOracle(tree)
+	threads := tree.Threads()
+	n := len(threads)
+	if n > 8 {
+		n = 8
+	}
+	fmt.Println("Relation matrix (first", n, "threads; p=precedes, f=follows, |=parallel):")
+	fmt.Printf("      ")
+	for j := 0; j < n; j++ {
+		fmt.Printf("%6s", threads[j].Label)
+	}
+	fmt.Println()
+	for i := 0; i < n; i++ {
+		fmt.Printf("%6s", threads[i].Label)
+		for j := 0; j < n; j++ {
+			c := "."
+			switch o.Relate(threads[i], threads[j]) {
+			case spt.Precedes:
+				c = "p"
+			case spt.Follows:
+				c = "f"
+			case spt.Parallel:
+				c = "|"
+			}
+			fmt.Printf("%6s", c)
+		}
+		fmt.Println()
+	}
+}

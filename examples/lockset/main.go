@@ -1,0 +1,48 @@
+// Lockset: the lock-aware race detector (ALL-SETS style) on top of
+// SP-order — the "more sophisticated data-race detectors, for example,
+// those that use locks" the paper's introduction mentions.
+//
+// Six parallel threads update a shared counter under a common mutex: the
+// pure determinacy-race detector flags them (they ARE nondeterministic in
+// timing), but the lock-aware detector recognizes the common lock and
+// stays quiet. A second, unprotected cell demonstrates a true bug both
+// detectors agree on.
+//
+// Run with:
+//
+//	go run ./examples/lockset
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	tree, protectedLoc, unprotectedLoc := repro.LockProtected(6, repro.NewRand(7))
+	fmt.Printf("program: %d fully parallel threads\n", tree.NumThreads())
+	fmt.Printf("  x%d: read-modify-write under mutex m0 by 6 threads\n", protectedLoc)
+	fmt.Printf("  x%d: unsynchronized writes by 2 threads\n\n", unprotectedLoc)
+
+	det := repro.DetectSerial(tree, repro.BackendSPOrder)
+	fmt.Printf("determinacy detector (locks invisible): flags %v\n", det.Locations)
+
+	lock := repro.DetectLockAware(tree)
+	fmt.Printf("lock-aware ALL-SETS detector:           flags %v\n\n", lock.Locations)
+	for _, r := range lock.Races {
+		fmt.Println("  ", r)
+	}
+
+	// Partial protection is not protection: disjoint lock sets race.
+	a := repro.NewLeaf("holderOfM1", 1)
+	a.Steps = []repro.Step{repro.Acq(1), repro.W(9), repro.Rel(1)}
+	b := repro.NewLeaf("holderOfM2", 1)
+	b.Steps = []repro.Step{repro.Acq(2), repro.W(9), repro.Rel(2)}
+	two := repro.MustTree(repro.NewP(a, b))
+	rep := repro.DetectLockAware(two)
+	fmt.Println("\ntwo writers holding DIFFERENT mutexes on x9:")
+	for _, r := range rep.Races {
+		fmt.Println("  ", r)
+	}
+}

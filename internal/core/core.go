@@ -1,0 +1,68 @@
+// Package core implements the paper's serial SP-maintenance algorithms:
+//
+//   - SPOrder — the SP-order algorithm of Section 2 (Figure 5): two
+//     order-maintenance lists holding English and Hebrew orderings of the
+//     parse-tree nodes, O(1) amortized per node visit and O(1) worst case
+//     per query.
+//
+//   - SPBags — the SP-bags algorithm of Feng and Leiserson, in the
+//     thread-bags variant of the paper's footnote 7, over a union-find
+//     forest with union by rank and path compression (O(α) amortized per
+//     operation). SP-bags answers queries against the currently executing
+//     thread only, and requires canonical Cilk parse trees
+//     (spt.IsCanonical; use spt.Canonicalize for arbitrary trees).
+//
+//   - LockedSPOrder — the naive parallelization of SP-order discussed in
+//     Section 3: one global mutex around every insert and query. It is
+//     correct, and deliberately kept as the ablation baseline whose
+//     apparent work degrades to Θ(P·T1) under contention.
+package core
+
+import (
+	"repro/internal/spt"
+)
+
+// Querier answers full SP queries between any two previously visited
+// threads (SP-order, and the static labelers in internal/labels).
+type Querier interface {
+	// Precedes reports u ≺ v.
+	Precedes(u, v *spt.Node) bool
+	// Parallel reports u ∥ v.
+	Parallel(u, v *spt.Node) bool
+}
+
+// CurrentQuerier answers SP queries where the second argument is the
+// currently executing thread (the weaker semantics of SP-bags and
+// SP-hybrid, sufficient for race detection).
+type CurrentQuerier interface {
+	// PrecedesCurrent reports u ≺ current.
+	PrecedesCurrent(u *spt.Node) bool
+	// ParallelCurrent reports u ∥ current.
+	ParallelCurrent(u *spt.Node) bool
+}
+
+// ThreadFunc is invoked for each thread (leaf) as the serial left-to-right
+// walk executes it. The maintainer's query methods may be called from
+// inside the function; u is the currently executing thread.
+type ThreadFunc func(u *spt.Node)
+
+// SerialWalk drives a maintainer through the left-to-right unfolding of
+// the parse tree, invoking visit on each internal node as it is expanded
+// (before its subtrees) and exec on each leaf. Either callback may be nil.
+func SerialWalk(t *spt.Tree, visit func(n *spt.Node), exec ThreadFunc) {
+	var rec func(n *spt.Node)
+	rec = func(n *spt.Node) {
+		if n.IsLeaf() {
+			if exec != nil {
+				exec(n)
+			}
+			return
+		}
+		if visit != nil {
+			visit(n)
+		}
+		rec(n.Left())
+		rec(n.Right())
+	}
+	rec(t.Root())
+}

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spt"
+)
+
+// runSPOrderAndCheck walks the tree with SP-order and, at every thread
+// execution, checks the relation of all previously executed threads
+// against the oracle (this exercises the on-the-fly property, not just
+// the final state).
+func runSPOrderAndCheck(t *testing.T, tr *spt.Tree) {
+	t.Helper()
+	o := spt.NewOracle(tr)
+	s := NewSPOrder(tr)
+	var executed []*spt.Node
+	s.Run(func(u *spt.Node) {
+		for _, v := range executed {
+			rel := o.Relate(v, u)
+			if got := s.Precedes(v, u); got != (rel == spt.Precedes) {
+				t.Fatalf("on the fly: Precedes(%s,%s) = %v, oracle %v", v, u, got, rel)
+			}
+			if got := s.Parallel(v, u); got != (rel == spt.Parallel) {
+				t.Fatalf("on the fly: Parallel(%s,%s) = %v, oracle %v", v, u, got, rel)
+			}
+		}
+		executed = append(executed, u)
+	})
+	// Final state: all pairs, both directions.
+	threads := tr.Threads()
+	for _, u := range threads {
+		for _, v := range threads {
+			if u == v {
+				if s.Precedes(u, v) || s.Parallel(u, v) {
+					t.Fatal("self-relation must be neither")
+				}
+				continue
+			}
+			rel := o.Relate(u, v)
+			if got := s.Precedes(u, v); got != (rel == spt.Precedes) {
+				t.Fatalf("final: Precedes(%s,%s) = %v, oracle %v", u, v, got, rel)
+			}
+		}
+	}
+}
+
+func TestSPOrderMatchesOraclePaperExample(t *testing.T) {
+	runSPOrderAndCheck(t, spt.PaperExample())
+}
+
+func TestSPOrderMatchesOracleShapes(t *testing.T) {
+	for name, tr := range map[string]*spt.Tree{
+		"chain":    spt.DeepChain(30, 1),
+		"fan":      spt.WideFan(30, 1),
+		"balanced": spt.BalancedPTree(5, 1),
+		"fib":      spt.FibTree(8, 1),
+		"blocks":   spt.SyncBlockChain(4, 4, 1),
+	} {
+		t.Run(name, func(t *testing.T) { runSPOrderAndCheck(t, tr) })
+	}
+}
+
+func TestSPOrderMatchesOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		cfg := spt.DefaultGenConfig(2 + rng.Intn(60))
+		cfg.PProb = []float64{0.2, 0.5, 0.8}[trial%3]
+		runSPOrderAndCheck(t, spt.Generate(cfg, rng))
+	}
+}
+
+// TestSPOrderSNodeOrder pins Figure 6: after visiting an S-node, both
+// orders hold S, L, R.
+func TestSPOrderSNodeOrder(t *testing.T) {
+	l, r := spt.NewLeaf("L", 1), spt.NewLeaf("R", 1)
+	tr := spt.MustTree(spt.NewS(l, r))
+	s := NewSPOrder(tr)
+	s.Visit(tr.Root())
+	// English: L before R; Hebrew: L before R.
+	if !s.Precedes(l, r) {
+		t.Fatal("S-node: L must precede R (both orders agree)")
+	}
+	if s.Parallel(l, r) {
+		t.Fatal("S-node children are not parallel")
+	}
+}
+
+// TestSPOrderPNodeOrder pins Figure 7: after visiting a P-node, English
+// holds P, L, R but Hebrew holds P, R, L.
+func TestSPOrderPNodeOrder(t *testing.T) {
+	l, r := spt.NewLeaf("L", 1), spt.NewLeaf("R", 1)
+	tr := spt.MustTree(spt.NewP(l, r))
+	s := NewSPOrder(tr)
+	s.Visit(tr.Root())
+	if !s.Parallel(l, r) || !s.Parallel(r, l) {
+		t.Fatal("P-node children must be parallel")
+	}
+	if s.Precedes(l, r) || s.Precedes(r, l) {
+		t.Fatal("P-node children are unordered")
+	}
+}
+
+func TestSPOrderVisitLeafNoop(t *testing.T) {
+	tr := spt.PaperExample()
+	s := NewSPOrder(tr)
+	s.Visit(tr.Root())
+	s.Visit(tr.Threads()[0]) // must not panic or change anything
+	v, _, _ := s.Stats()
+	if v != 1 {
+		t.Fatalf("visits = %d, want 1 (leaf visit must not count)", v)
+	}
+}
+
+func TestSPOrderVisitBeforeParentPanics(t *testing.T) {
+	tr := spt.PaperExample()
+	s := NewSPOrder(tr)
+	inner := tr.Root().Right() // not yet visited: parent root not expanded... root IS expanded.
+	// Visit the root first (legal), then skip a level: visiting a node
+	// whose parent was never visited must panic.
+	s.Visit(tr.Root())
+	grandchild := tr.Root().Right().Left()
+	if grandchild.IsLeaf() {
+		t.Skip("tree shape changed; pick an internal grandchild")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-order visit")
+		}
+	}()
+	_ = inner
+	s.Visit(grandchild)
+}
+
+// TestSPOrderFlexibleUnfolding exercises the end-of-Section-2 remark: the
+// parse tree may unfold in any order respecting parent-before-child and
+// S-left-before-right. We expand P-subtrees breadth-first and check
+// queries still agree with the oracle.
+func TestSPOrderFlexibleUnfolding(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		cfg := spt.DefaultGenConfig(2 + rng.Intn(40))
+		cfg.PProb = 0.9 // P-heavy so the BFS actually diverges from DFS
+		tr := spt.Generate(cfg, rng)
+		o := spt.NewOracle(tr)
+		s := NewSPOrder(tr)
+		// Breadth-first expansion queue. For S-nodes we must fully
+		// expand the left subtree before the right subtree, so
+		// enqueue S-right only after S-left's subtree is done; for
+		// simplicity expand S-nodes depth-first and P-nodes BFS.
+		queue := []*spt.Node{tr.Root()}
+		var expandS func(n *spt.Node)
+		expandS = func(n *spt.Node) {
+			if n.IsLeaf() {
+				return
+			}
+			s.Visit(n)
+			expandS(n.Left())
+			expandS(n.Right())
+		}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if n.IsLeaf() {
+				continue
+			}
+			if n.IsS() {
+				expandS(n)
+				continue
+			}
+			s.Visit(n)
+			queue = append(queue, n.Left(), n.Right())
+		}
+		threads := tr.Threads()
+		for _, u := range threads {
+			for _, v := range threads {
+				if u == v {
+					continue
+				}
+				rel := o.Relate(u, v)
+				if got := s.Precedes(u, v); got != (rel == spt.Precedes) {
+					t.Fatalf("BFS unfold: Precedes(%s,%s) = %v, oracle %v", u, v, got, rel)
+				}
+			}
+		}
+	}
+}
+
+// runSPBagsAndCheck walks the canonicalized tree with SP-bags, checking
+// every previously executed thread against the current thread under the
+// oracle. This is the full semantics SP-bags provides.
+func runSPBagsAndCheck(t *testing.T, tr *spt.Tree) {
+	t.Helper()
+	canon, _ := spt.Canonicalize(tr)
+	o := spt.NewOracle(canon)
+	b := NewSPBags(canon)
+	var executed []*spt.Node
+	b.Run(func(u *spt.Node) {
+		for _, v := range executed {
+			rel := o.Relate(v, u)
+			if got := b.PrecedesCurrent(v); got != (rel == spt.Precedes) {
+				t.Fatalf("SPBags: PrecedesCurrent(%s) vs %s = %v, oracle %v", v, u, got, rel)
+			}
+			if got := b.ParallelCurrent(v); got != (rel == spt.Parallel) {
+				t.Fatalf("SPBags: ParallelCurrent(%s) vs %s = %v, oracle %v", v, u, got, rel)
+			}
+		}
+		executed = append(executed, u)
+	})
+}
+
+func TestSPBagsMatchesOraclePaperExample(t *testing.T) {
+	runSPBagsAndCheck(t, spt.PaperExample())
+}
+
+func TestSPBagsMatchesOracleShapes(t *testing.T) {
+	for name, tr := range map[string]*spt.Tree{
+		"chain":    spt.DeepChain(30, 1),
+		"fan":      spt.WideFan(30, 1),
+		"balanced": spt.BalancedPTree(5, 1),
+		"fib":      spt.FibTree(8, 1),
+		"blocks":   spt.SyncBlockChain(4, 4, 1),
+	} {
+		t.Run(name, func(t *testing.T) { runSPBagsAndCheck(t, tr) })
+	}
+}
+
+func TestSPBagsMatchesOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		cfg := spt.DefaultGenConfig(2 + rng.Intn(50))
+		cfg.PProb = []float64{0.2, 0.5, 0.8}[trial%3]
+		runSPBagsAndCheck(t, spt.Generate(cfg, rng))
+	}
+}
+
+func TestSPBagsRejectsNonCanonical(t *testing.T) {
+	a := func() *spt.Node { return spt.NewLeaf("x", 1) }
+	tr := spt.MustTree(spt.NewP(a(), spt.NewS(spt.NewP(a(), a()), a())))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-canonical tree")
+		}
+	}()
+	NewSPBags(tr)
+}
+
+func TestSPBagsQueryUnexecutedPanics(t *testing.T) {
+	tr := spt.DeepChain(3, 1)
+	b := NewSPBags(tr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.PrecedesCurrent(tr.Threads()[0]) // nothing executed yet
+}
+
+func TestQuickSPOrderAndSPBagsAgree(t *testing.T) {
+	f := func(seed int64, n uint8, pp uint8) bool {
+		cfg := spt.DefaultGenConfig(int(n)%40 + 2)
+		cfg.PProb = float64(pp%101) / 100
+		tr := spt.Generate(cfg, rand.New(rand.NewSource(seed)))
+		canon, _ := spt.Canonicalize(tr)
+		agree := true
+		var executed []*spt.Node
+		rng := rand.New(rand.NewSource(seed + 1))
+		// SP-order answers full queries, so pre-expand it (legal:
+		// left-to-right order), then drive SP-bags through the walk
+		// and compare current-thread answers on random samples.
+		s := NewSPOrder(canon)
+		b := NewSPBags(canon)
+		SerialWalk(canon, s.Visit, nil)
+		b.Run(func(u *spt.Node) {
+			for k := 0; k < 5 && len(executed) > 0; k++ {
+				v := executed[rng.Intn(len(executed))]
+				if b.PrecedesCurrent(v) != s.Precedes(v, u) {
+					agree = false
+				}
+				if b.ParallelCurrent(v) != s.Parallel(v, u) {
+					agree = false
+				}
+			}
+			executed = append(executed, u)
+		})
+		return agree
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockedSPOrderSerial(t *testing.T) {
+	tr := spt.PaperExample()
+	o := spt.NewOracle(tr)
+	l := NewLockedSPOrder(tr)
+	SerialWalk(tr, l.Visit, nil)
+	threads := tr.Threads()
+	for _, u := range threads {
+		for _, v := range threads {
+			if u == v {
+				continue
+			}
+			rel := o.Relate(u, v)
+			if got := l.Precedes(u, v); got != (rel == spt.Precedes) {
+				t.Fatalf("Precedes(%s,%s) = %v, oracle %v", u, v, got, rel)
+			}
+			if got := l.Parallel(u, v); got != (rel == spt.Parallel) {
+				t.Fatalf("Parallel(%s,%s) = %v, oracle %v", u, v, got, rel)
+			}
+		}
+	}
+	if l.LockAcquisitions == 0 {
+		t.Fatal("lock counter must move")
+	}
+}
+
+// TestLockedSPOrderParallelQueries checks thread safety: parallel visits
+// of independent P-subtrees plus concurrent queries (run with -race).
+func TestLockedSPOrderParallelQueries(t *testing.T) {
+	tr := spt.BalancedPTree(6, 1) // 64 threads, all parallel
+	o := spt.NewOracle(tr)
+	l := NewLockedSPOrder(tr)
+	// Visit the P-spine serially level by level, in parallel within a
+	// level (legal unfolding: parents before children).
+	level := []*spt.Node{tr.Root()}
+	for len(level) > 0 {
+		var next []*spt.Node
+		var wg sync.WaitGroup
+		for _, n := range level {
+			if n.IsLeaf() {
+				continue
+			}
+			next = append(next, n.Left(), n.Right())
+			wg.Add(1)
+			go func(n *spt.Node) {
+				defer wg.Done()
+				l.Visit(n)
+			}(n)
+		}
+		wg.Wait()
+		level = next
+	}
+	threads := tr.Threads()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 500; k++ {
+				u := threads[rng.Intn(len(threads))]
+				v := threads[rng.Intn(len(threads))]
+				if u == v {
+					continue
+				}
+				rel := o.Relate(u, v)
+				if l.Precedes(u, v) != (rel == spt.Precedes) {
+					errs <- "precedes mismatch"
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestSPOrderStats(t *testing.T) {
+	tr := spt.DeepChain(100, 1)
+	s := NewSPOrder(tr)
+	s.Run(nil)
+	visits, _, _ := s.Stats()
+	if visits != 99 {
+		t.Fatalf("visits = %d, want 99 internal nodes", visits)
+	}
+}
+
+func TestBagKindString(t *testing.T) {
+	if SBag.String() != "S" || PBag.String() != "P" {
+		t.Fatal("BagKind strings wrong")
+	}
+}
+
+// runImplicitAndCheck mirrors runSPOrderAndCheck for the footnote-2
+// implicit-English variant.
+func runImplicitAndCheck(t *testing.T, tr *spt.Tree) {
+	t.Helper()
+	o := spt.NewOracle(tr)
+	s := NewSPOrderImplicit(tr)
+	var executed []*spt.Node
+	s.Run(func(u *spt.Node) {
+		for _, v := range executed {
+			rel := o.Relate(v, u)
+			if got := s.Precedes(v, u); got != (rel == spt.Precedes) {
+				t.Fatalf("implicit: Precedes(%s,%s) = %v, oracle %v", v, u, got, rel)
+			}
+			if got := s.Parallel(v, u); got != (rel == spt.Parallel) {
+				t.Fatalf("implicit: Parallel(%s,%s) = %v, oracle %v", v, u, got, rel)
+			}
+		}
+		executed = append(executed, u)
+	})
+	threads := tr.Threads()
+	for _, u := range threads {
+		for _, v := range threads {
+			if u == v {
+				continue
+			}
+			rel := o.Relate(u, v)
+			if got := s.Precedes(u, v); got != (rel == spt.Precedes) {
+				t.Fatalf("implicit final: Precedes(%s,%s) = %v, oracle %v", u, v, got, rel)
+			}
+		}
+	}
+}
+
+func TestSPOrderImplicitMatchesOracle(t *testing.T) {
+	runImplicitAndCheck(t, spt.PaperExample())
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 15; trial++ {
+		cfg := spt.DefaultGenConfig(2 + rng.Intn(50))
+		cfg.PProb = []float64{0.2, 0.5, 0.8}[trial%3]
+		runImplicitAndCheck(t, spt.Generate(cfg, rng))
+	}
+}
+
+func TestSPOrderImplicitQueryBeforeExecPanics(t *testing.T) {
+	tr := spt.DeepChain(3, 1)
+	s := NewSPOrderImplicit(tr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Precedes(tr.Threads()[0], tr.Threads()[1])
+}
+
+func TestSPOrderImplicitVisitOutOfOrderPanics(t *testing.T) {
+	tr := spt.PaperExample()
+	s := NewSPOrderImplicit(tr)
+	s.Visit(tr.Root())
+	grandchild := tr.Root().Right().Left()
+	if grandchild.IsLeaf() {
+		t.Skip("tree shape changed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Visit(grandchild)
+}
+
+// TestSPOrderInternalNodeQueries exercises the remark that "an SP
+// relationship exists between any two nodes in the parse tree, not just
+// between threads": full SP-order answers queries on internal nodes too.
+func TestSPOrderInternalNodeQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		tr := spt.Generate(spt.DefaultGenConfig(2+rng.Intn(30)), rng)
+		o := spt.NewOracle(tr)
+		s := NewSPOrder(tr)
+		s.Run(nil)
+		nodes := tr.Nodes()
+		for k := 0; k < 300; k++ {
+			u := nodes[rng.Intn(len(nodes))]
+			v := nodes[rng.Intn(len(nodes))]
+			rel := o.Relate(u, v)
+			switch rel {
+			case spt.Precedes:
+				if !s.Precedes(u, v) {
+					t.Fatalf("internal: %s must precede %s", u, v)
+				}
+			case spt.Parallel:
+				if !s.Parallel(u, v) {
+					t.Fatalf("internal: %s must be parallel to %s", u, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"repro/internal/om"
+	"repro/internal/spt"
+)
+
+// SPOrderImplicit is the optimization noted in the paper's footnote 2:
+// during a left-to-right tree walk, the English ordering of THREADS is
+// just execution order, so it can be maintained implicitly by a counter
+// instead of an order-maintenance list — only the Hebrew order needs the
+// OM structure. This halves the OM-INSERT traffic of SP-order at the cost
+// of two restrictions, both acceptable to a serial race detector:
+//
+//   - the parse tree must unfold in the serial left-to-right order (the
+//     flexible unfoldings of SP-order proper are not supported), and
+//   - queries are limited to threads (leaves); internal nodes have no
+//     meaningful execution index.
+//
+// The ablation benchmark BenchmarkAblation_ImplicitEnglish compares the
+// two variants.
+type SPOrderImplicit struct {
+	heb     *om.List
+	hebItem []*om.Item // indexed by node ID
+	engIdx  []int64    // 1-based execution index; 0 = not yet executed
+	counter int64
+	tree    *spt.Tree
+}
+
+// NewSPOrderImplicit prepares the implicit-English variant for a walk
+// of t.
+func NewSPOrderImplicit(t *spt.Tree) *SPOrderImplicit {
+	s := &SPOrderImplicit{
+		heb:     om.NewList(),
+		hebItem: make([]*om.Item, t.Len()),
+		engIdx:  make([]int64, t.Len()),
+		tree:    t,
+	}
+	s.hebItem[t.Root().ID] = s.heb.InsertFirst()
+	return s
+}
+
+// Visit performs the Hebrew-order insertions for internal node x.
+func (s *SPOrderImplicit) Visit(x *spt.Node) {
+	if x.IsLeaf() {
+		return
+	}
+	if s.hebItem[x.ID] == nil {
+		panic("core: SPOrderImplicit.Visit called before parent was visited")
+	}
+	h := s.heb.InsertAfterN(s.hebItem[x.ID], 2)
+	l, r := x.Left(), x.Right()
+	if x.IsS() {
+		s.hebItem[l.ID], s.hebItem[r.ID] = h[0], h[1]
+	} else {
+		s.hebItem[r.ID], s.hebItem[l.ID] = h[0], h[1]
+	}
+}
+
+// Run performs the complete left-to-right walk, assigning English indices
+// as threads execute and calling exec for each.
+func (s *SPOrderImplicit) Run(exec ThreadFunc) {
+	SerialWalk(s.tree, s.Visit, func(u *spt.Node) {
+		s.counter++
+		s.engIdx[u.ID] = s.counter
+		if exec != nil {
+			exec(u)
+		}
+	})
+}
+
+// Precedes reports u ≺ v for two executed threads: u precedes v in
+// execution (English) order AND in the Hebrew order.
+func (s *SPOrderImplicit) Precedes(u, v *spt.Node) bool {
+	eu, ev := s.engIdx[u.ID], s.engIdx[v.ID]
+	if eu == 0 || ev == 0 {
+		panic("core: SPOrderImplicit query on a thread that has not executed")
+	}
+	return eu < ev && s.heb.Precedes(s.hebItem[u.ID], s.hebItem[v.ID])
+}
+
+// Parallel reports u ∥ v: the execution order and the Hebrew order
+// disagree.
+func (s *SPOrderImplicit) Parallel(u, v *spt.Node) bool {
+	if u == v {
+		return false
+	}
+	eu, ev := s.engIdx[u.ID], s.engIdx[v.ID]
+	if eu == 0 || ev == 0 {
+		panic("core: SPOrderImplicit query on a thread that has not executed")
+	}
+	return (eu < ev) != s.heb.Precedes(s.hebItem[u.ID], s.hebItem[v.ID])
+}
+
+var _ Querier = (*SPOrderImplicit)(nil)

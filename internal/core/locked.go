@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/spt"
+)
+
+// LockedSPOrder is the naive parallelization of SP-order described (and
+// rejected) in Section 3 of the paper: the serial SP-order structure is
+// shared among processors, and every OM-INSERT and OM-PRECEDES takes a
+// single global lock. It is correct for any unfolding order that respects
+// parent-before-child and S-node left-before-right, but under P-way
+// parallelism each operation can stall P−1 processors, so the apparent
+// work can blow up to Θ(P·T1) — the scalability failure SP-hybrid's
+// two-tier design eliminates. It exists here as the ablation baseline for
+// the Theorem 10 benchmarks.
+type LockedSPOrder struct {
+	mu sync.Mutex
+	sp *SPOrder
+
+	// LockAcquisitions counts lock round-trips for the contention
+	// analysis (buckets B4/B5 of Theorem 10 have no analogue here: all
+	// waiting is on this one mutex).
+	LockAcquisitions int64
+}
+
+// NewLockedSPOrder prepares a shared SP-order structure for tree t.
+func NewLockedSPOrder(t *spt.Tree) *LockedSPOrder {
+	return &LockedSPOrder{sp: NewSPOrder(t)}
+}
+
+// Visit performs the SP-order insertions for internal node x under the
+// global lock. Safe to call from any goroutine, provided x's parent has
+// been visited (the scheduler's tree walk guarantees this).
+func (l *LockedSPOrder) Visit(x *spt.Node) {
+	l.mu.Lock()
+	l.LockAcquisitions++
+	l.sp.Visit(x)
+	l.mu.Unlock()
+}
+
+// Precedes reports u ≺ v under the global lock.
+func (l *LockedSPOrder) Precedes(u, v *spt.Node) bool {
+	l.mu.Lock()
+	l.LockAcquisitions++
+	r := l.sp.Precedes(u, v)
+	l.mu.Unlock()
+	return r
+}
+
+// Parallel reports u ∥ v under the global lock.
+func (l *LockedSPOrder) Parallel(u, v *spt.Node) bool {
+	l.mu.Lock()
+	l.LockAcquisitions++
+	r := l.sp.Parallel(u, v)
+	l.mu.Unlock()
+	return r
+}
+
+// EnsureVisited visits, under the global lock, every not-yet-visited
+// ancestor of n from the top down (and n itself if internal). This lets a
+// parallel tree walk lazily expand the shared structure from any worker:
+// SP-order tolerates any visit order that respects parent-before-child
+// (end of Section 2), and execution order — which the scheduler already
+// constrains — is what the S-node left-before-right rule governs.
+func (l *LockedSPOrder) EnsureVisited(n *spt.Node) {
+	l.mu.Lock()
+	l.LockAcquisitions++
+	// Collect unexpanded internal ancestors bottom-up (an internal node
+	// is expanded once its children hold order items), then visit them
+	// top-down.
+	var pending []*spt.Node
+	for x := n; x != nil; x = x.Parent() {
+		if !x.IsLeaf() && !l.sp.Visited(x.Left()) {
+			pending = append(pending, x)
+		}
+	}
+	for i := len(pending) - 1; i >= 0; i-- {
+		l.sp.Visit(pending[i])
+	}
+	l.mu.Unlock()
+}
+
+var _ Querier = (*LockedSPOrder)(nil)

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dsu"
+	"repro/internal/spt"
+)
+
+// BagKind tags a disjoint set as an S-bag or a P-bag.
+type BagKind uint8
+
+const (
+	// SBag holds descendant threads of a procedure that precede its
+	// currently executing thread.
+	SBag BagKind = iota
+	// PBag holds descendant threads of completed children of a
+	// procedure that run parallel to its currently executing thread.
+	PBag
+)
+
+// String returns "S" or "P".
+func (k BagKind) String() string {
+	if k == SBag {
+		return "S"
+	}
+	return "P"
+}
+
+// bagTag is the payload stored at disjoint-set roots: which kind of bag
+// the set currently is.
+type bagTag struct{ kind BagKind }
+
+var (
+	sTag = &bagTag{SBag}
+	pTag = &bagTag{PBag}
+)
+
+// frame is one procedure activation of the SP-bags walk: created at the
+// start of the computation and at every P-node's left-child dive (a
+// spawn). Following Feng–Leiserson, it owns an S-bag and a P-bag,
+// represented by any member node of the corresponding disjoint set (nil
+// when the bag is empty).
+type frame struct {
+	sRep, pRep *dsu.Node
+	openP      int
+}
+
+// SPBags is the serial SP-bags algorithm adapted to thread-bags (footnote
+// 7 of the paper): the S-bag of procedure F holds the descendant threads
+// of F that precede F's currently executing thread, the P-bag holds the
+// descendant threads of F's completed children that operate in parallel
+// with it. A previously executed thread u relates to the currently
+// executing thread as follows:
+//
+//	FIND(u) is an S-bag  ⇒  u ≺ current
+//	FIND(u) is a P-bag   ⇒  u ∥ current
+//
+// Each operation costs O(α(m, n)) amortized (union by rank plus path
+// compression). SPBags requires a canonical Cilk parse tree and panics
+// otherwise; canonicalize arbitrary trees with spt.Canonicalize first.
+type SPBags struct {
+	forest dsu.Forest
+	node   []*dsu.Node // per leaf ID
+	tree   *spt.Tree
+}
+
+// NewSPBags prepares the SP-bags structure for a walk of t. It panics if
+// t is not a canonical Cilk parse tree.
+func NewSPBags(t *spt.Tree) *SPBags {
+	if !spt.IsCanonical(t) {
+		panic(fmt.Sprintf("core: SPBags requires a canonical Cilk parse tree "+
+			"(threads=%d); apply spt.Canonicalize first", t.NumThreads()))
+	}
+	return &SPBags{node: make([]*dsu.Node, t.Len()), tree: t}
+}
+
+// Run executes the serial left-to-right walk, maintaining the bags and
+// invoking exec for each thread. exec may call PrecedesCurrent and
+// ParallelCurrent on previously executed threads.
+func (b *SPBags) Run(exec ThreadFunc) {
+	b.walk(b.tree.Root(), &frame{}, exec)
+}
+
+// walk processes subtree n within procedure frame f.
+func (b *SPBags) walk(n *spt.Node, f *frame, exec ThreadFunc) {
+	switch n.Kind() {
+	case spt.Leaf:
+		// The thread joins S(F) before it executes ("the descendant
+		// threads of F include the threads of F").
+		nd := b.forest.MakeSet(sTag)
+		b.node[n.ID] = nd
+		if f.sRep == nil {
+			f.sRep = nd
+		} else {
+			f.sRep = b.forest.Union(f.sRep, nd, sTag)
+		}
+		if exec != nil {
+			exec(n)
+		}
+	case spt.SNode:
+		b.walk(n.Left(), f, exec)
+		b.walk(n.Right(), f, exec)
+	default: // PNode: spawn left child as a fresh procedure
+		f.openP++
+		child := &frame{}
+		b.walk(n.Left(), child, exec)
+		// Child returns: P(F) ← P(F) ∪ S(F′) ∪ P(F′). In a completed
+		// procedure the P-bag has already drained into the S-bag at
+		// its final sync, but we fold both defensively.
+		ret := child.sRep
+		if child.pRep != nil {
+			if ret == nil {
+				ret = child.pRep
+			} else {
+				ret = b.forest.Union(ret, child.pRep, pTag)
+			}
+		}
+		if ret != nil {
+			if f.pRep == nil {
+				f.pRep = b.forest.Union(ret, ret, pTag)
+			} else {
+				f.pRep = b.forest.Union(f.pRep, ret, pTag)
+			}
+		}
+		// The continuation runs in the same frame.
+		b.walk(n.Right(), f, exec)
+		f.openP--
+		if f.openP == 0 {
+			// sync: S(F) ← S(F) ∪ P(F); P(F) ← ∅.
+			if f.pRep != nil {
+				if f.sRep == nil {
+					f.sRep = b.forest.Union(f.pRep, f.pRep, sTag)
+				} else {
+					f.sRep = b.forest.Union(f.sRep, f.pRep, sTag)
+				}
+				f.pRep = nil
+			}
+		}
+	}
+}
+
+// PrecedesCurrent reports whether previously executed thread u precedes
+// the currently executing thread: FIND(u) is an S-bag.
+func (b *SPBags) PrecedesCurrent(u *spt.Node) bool {
+	nd := b.node[u.ID]
+	if nd == nil {
+		panic("core: SPBags query on a thread that has not executed")
+	}
+	return b.forest.Payload(nd).(*bagTag).kind == SBag
+}
+
+// ParallelCurrent reports whether previously executed thread u runs
+// logically in parallel with the currently executing thread: FIND(u) is a
+// P-bag.
+func (b *SPBags) ParallelCurrent(u *spt.Node) bool {
+	nd := b.node[u.ID]
+	if nd == nil {
+		panic("core: SPBags query on a thread that has not executed")
+	}
+	return b.forest.Payload(nd).(*bagTag).kind == PBag
+}
+
+// Stats returns the union/find counters of the underlying forest.
+func (b *SPBags) Stats() (finds, unions int64) {
+	return b.forest.Finds, b.forest.Unions
+}
+
+var _ CurrentQuerier = (*SPBags)(nil)

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"repro/internal/om"
+	"repro/internal/spt"
+)
+
+// SPOrder is the serial SP-order algorithm (Section 2, Figure 5). It
+// maintains two order-maintenance lists, Eng and Heb. When the tree walk
+// expands an internal node X, X's children are inserted immediately after
+// X in both lists — left then right in Eng; in Heb, left then right if X
+// is an S-node and right then left if X is a P-node (Figures 6 and 7).
+// By Lemma 3 the lists are then English and Hebrew orderings of the
+// visited nodes, and by Lemma 1 / Theorem 4,
+//
+//	u ≺ v  ⇔  Eng: u before v  AND  Heb: u before v.
+//
+// Visit costs O(1) amortized; queries cost O(1) worst case; space is O(1)
+// per node (Figure 3, last row). Unlike SP-bags, SP-order answers queries
+// between ANY two visited nodes, and the unfolding order is flexible: any
+// order that respects parent-before-child and S-node left-before-right is
+// legal (end of Section 2).
+type SPOrder struct {
+	eng, heb *om.List
+	engItem  []*om.Item // indexed by node ID
+	hebItem  []*om.Item
+	tree     *spt.Tree
+	visits   int64
+}
+
+// NewSPOrder prepares the SP-order structure for a walk of t. The root is
+// inserted into both orders immediately.
+func NewSPOrder(t *spt.Tree) *SPOrder {
+	s := &SPOrder{
+		eng:     om.NewList(),
+		heb:     om.NewList(),
+		engItem: make([]*om.Item, t.Len()),
+		hebItem: make([]*om.Item, t.Len()),
+		tree:    t,
+	}
+	root := t.Root()
+	s.engItem[root.ID] = s.eng.InsertFirst()
+	s.hebItem[root.ID] = s.heb.InsertFirst()
+	return s
+}
+
+// Visit performs the SP-ORDER insertions for internal node x (lines 4–7
+// of Figure 5). x's parent must already have been visited (the root is
+// pre-inserted by NewSPOrder). Calling Visit on a leaf is a no-op.
+func (s *SPOrder) Visit(x *spt.Node) {
+	if x.IsLeaf() {
+		return
+	}
+	if s.engItem[x.ID] == nil {
+		panic("core: SPOrder.Visit called before parent was visited")
+	}
+	s.visits++
+	l, r := x.Left(), x.Right()
+	// Line 4: OM-INSERT(Eng, X, left[X], right[X]).
+	e := s.eng.InsertAfterN(s.engItem[x.ID], 2)
+	s.engItem[l.ID], s.engItem[r.ID] = e[0], e[1]
+	// Lines 5–7: Hebrew order depends on the node kind.
+	h := s.heb.InsertAfterN(s.hebItem[x.ID], 2)
+	if x.IsS() {
+		s.hebItem[l.ID], s.hebItem[r.ID] = h[0], h[1]
+	} else {
+		s.hebItem[r.ID], s.hebItem[l.ID] = h[0], h[1]
+	}
+}
+
+// Visited reports whether node u has been inserted into the orders yet.
+func (s *SPOrder) Visited(u *spt.Node) bool { return s.engItem[u.ID] != nil }
+
+// Precedes implements SP-PRECEDES(X, Y) (lines 10–12 of Figure 5): TRUE
+// iff u precedes v in both the English and Hebrew orders. Both nodes must
+// have been visited (inserted by their parents' Visit).
+func (s *SPOrder) Precedes(u, v *spt.Node) bool {
+	return s.eng.Precedes(s.engItem[u.ID], s.engItem[v.ID]) &&
+		s.heb.Precedes(s.hebItem[u.ID], s.hebItem[v.ID])
+}
+
+// Parallel reports u ∥ v via Corollary 2: the English and Hebrew orders
+// disagree.
+func (s *SPOrder) Parallel(u, v *spt.Node) bool {
+	if u == v {
+		return false
+	}
+	return s.eng.Precedes(s.engItem[u.ID], s.engItem[v.ID]) !=
+		s.heb.Precedes(s.hebItem[u.ID], s.hebItem[v.ID])
+}
+
+// Run performs the complete left-to-right walk of the tree, calling exec
+// for every thread as it executes (the EXECUTE-THREAD of Figure 5; exec
+// may query the structure). It is the serial on-the-fly driver used by
+// the race detector.
+func (s *SPOrder) Run(exec ThreadFunc) {
+	SerialWalk(s.tree, s.Visit, exec)
+}
+
+// Stats returns counters for the benchmark harness: internal nodes
+// visited, and the relabel/split counts of the two underlying lists.
+func (s *SPOrder) Stats() (visits, relabels, splits int64) {
+	return s.visits, s.eng.Relabels + s.heb.Relabels, s.eng.Splits + s.heb.Splits
+}
+
+var _ Querier = (*SPOrder)(nil)

@@ -1,0 +1,210 @@
+package dsu
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestCASForestBasics(t *testing.T) {
+	var f CASForest
+	a := f.MakeSet("A")
+	b := f.MakeSet("B")
+	if f.SameSet(a, b) {
+		t.Fatal("fresh sets must be distinct")
+	}
+	f.Union(a, b, "AB")
+	if !f.SameSet(a, b) || f.Payload(a) != "AB" || f.Payload(b) != "AB" {
+		t.Fatal("union/payload wrong")
+	}
+	f.SetPayload(b, "C")
+	if f.Payload(a) != "C" {
+		t.Fatal("SetPayload must affect whole set")
+	}
+	if got := f.Union(a, b, "again"); f.Payload(a) != "again" || got != f.Find(a) {
+		t.Fatal("self-union must restamp")
+	}
+}
+
+func TestCASForestAgainstSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	const n = 200
+	var fs Forest
+	var fc CASForest
+	a := make([]*Node, n)
+	b := make([]*CASNode, n)
+	for i := 0; i < n; i++ {
+		a[i] = fs.MakeSet(i)
+		b[i] = fc.MakeSet(i)
+	}
+	for op := 0; op < 600; op++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		fs.Union(a[i], a[j], op)
+		fc.Union(b[i], b[j], op)
+		x, y := rng.Intn(n), rng.Intn(n)
+		if fs.SameSet(a[x], a[y]) != fc.SameSet(b[x], b[y]) {
+			t.Fatalf("op %d: SameSet(%d,%d) disagrees", op, x, y)
+		}
+		if fs.SameSet(a[x], a[y]) && fs.Payload(a[x]) != fc.Payload(b[x]) {
+			t.Fatalf("op %d: payloads disagree", op)
+		}
+	}
+}
+
+func TestCASForestCompressionHappens(t *testing.T) {
+	var f CASForest
+	nodes := make([]*CASNode, 256)
+	for i := range nodes {
+		nodes[i] = f.MakeSet(i)
+	}
+	// Pairwise merging builds rank-log trees of real depth (unioning
+	// everything into one root directly would stay flat and give the
+	// compressor nothing to do).
+	for stride := 1; stride < len(nodes); stride *= 2 {
+		for i := 0; i+stride < len(nodes); i += 2 * stride {
+			f.Union(nodes[i], nodes[i+stride], i)
+		}
+	}
+	before := f.Compressions.Load()
+	for i := range nodes {
+		f.Find(nodes[i])
+	}
+	// Repeated finds after a long union chain must have compressed
+	// something, and afterwards finds are near-root.
+	if f.Compressions.Load() == before {
+		t.Fatal("no compressions recorded")
+	}
+	root := f.Find(nodes[0])
+	deep := 0
+	for _, n := range nodes {
+		steps := 0
+		for x := n; x != root; x = x.parent.Load() {
+			steps++
+		}
+		if steps > 2 {
+			deep++
+		}
+	}
+	if deep > len(nodes)/4 {
+		t.Fatalf("%d nodes still deep after compression", deep)
+	}
+}
+
+// TestCASForestConcurrentFindsDuringUnions is the core safety property
+// the paper's Section 7 conjecture relies on: concurrent finds (which
+// compress with CAS) racing a single owner's unions never corrupt the
+// structure or observe an illegal payload. Run with -race.
+func TestCASForestConcurrentFindsDuringUnions(t *testing.T) {
+	var f CASForest
+	const n = 2048
+	nodes := make([]*CASNode, n)
+	legal := make(map[any]bool)
+	for i := range nodes {
+		nodes[i] = f.MakeSet(i)
+		legal[i] = true
+	}
+	for i := 0; i < n; i++ {
+		legal[-i] = true
+	}
+	var stop atomic.Bool
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				if p := f.Payload(nodes[rng.Intn(n)]); !legal[p] {
+					bad.Add(1)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	for i := 1; i < n; i++ {
+		f.Union(nodes[0], nodes[i], -i)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d illegal payloads observed", bad.Load())
+	}
+	for i := 1; i < n; i++ {
+		if !f.SameSet(nodes[0], nodes[i]) {
+			t.Fatal("final state not fully merged")
+		}
+	}
+}
+
+// TestCASForestParentAlwaysAncestor checks the rootward invariant after
+// heavy concurrent traffic: following parent pointers from any node
+// terminates at the single root.
+func TestCASForestParentAlwaysAncestor(t *testing.T) {
+	var f CASForest
+	const n = 1024
+	nodes := make([]*CASNode, n)
+	for i := range nodes {
+		nodes[i] = f.MakeSet(i)
+	}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				f.Find(nodes[rng.Intn(n)])
+			}
+		}(int64(g))
+	}
+	rng := rand.New(rand.NewSource(100))
+	for i := 0; i < n*4; i++ {
+		f.Union(nodes[rng.Intn(n)], nodes[rng.Intn(n)], i)
+	}
+	stop.Store(true)
+	wg.Wait()
+	root := f.Find(nodes[0])
+	for _, nd := range nodes {
+		steps := 0
+		for x := nd; x != root; x = x.parent.Load() {
+			steps++
+			if steps > n {
+				t.Fatal("parent chain does not terminate at the root")
+			}
+		}
+	}
+}
+
+func TestQuickCASForestMatchesRankOnly(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 40
+		var fc ConcurrentForest
+		var fx CASForest
+		a := make([]*CNode, n)
+		b := make([]*CASNode, n)
+		for i := 0; i < n; i++ {
+			a[i] = fc.MakeSet(i)
+			b[i] = fx.MakeSet(i)
+		}
+		for k := 0; k < int(ops); k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			fc.Union(a[i], a[j], k)
+			fx.Union(b[i], b[j], k)
+		}
+		for k := 0; k < 80; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if fc.SameSet(a[i], a[j]) != fx.SameSet(b[i], b[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

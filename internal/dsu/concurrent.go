@@ -1,0 +1,94 @@
+package dsu
+
+import "sync/atomic"
+
+// CNode is an element of a ConcurrentForest. Parent pointers are atomic so
+// that finds from other goroutines may race with the owner's unions; rank
+// and payload are written only by the owner (payload through an atomic so
+// racing finds read it safely).
+type CNode struct {
+	parent  atomic.Pointer[CNode]
+	rank    int
+	payload atomic.Pointer[any]
+}
+
+// ConcurrentForest is union-find with union by rank only (no path
+// compression). Find is wait-free and read-only (O(lg n) worst case by the
+// rank argument). Unions (and SetPayload) require single-owner discipline
+// PER SET: two goroutines may union concurrently as long as the sets they
+// touch are disjoint — exactly the SP-hybrid local-tier regime, where each
+// worker unions only within its own frames' bags while any worker may
+// concurrently FIND-TRACE into any set.
+//
+// Union publishes the surviving root's payload before swinging the losing
+// root's parent pointer, so a concurrent find observes either the
+// pre-union state (two sets with their old payloads) or the post-union
+// state (one set with the new payload) — never a torn mixture.
+type ConcurrentForest struct {
+	// Finds and Unions count operations; both are atomic because finds
+	// always race and unions may proceed concurrently on disjoint sets.
+	Finds  atomic.Int64
+	Unions atomic.Int64
+}
+
+// MakeSet creates a singleton set with the given payload.
+func (f *ConcurrentForest) MakeSet(payload any) *CNode {
+	n := &CNode{}
+	n.parent.Store(n)
+	n.payload.Store(&payload)
+	return n
+}
+
+// Find returns the current root of x's set. It performs no writes.
+func (f *ConcurrentForest) Find(x *CNode) *CNode {
+	f.Finds.Add(1)
+	for {
+		p := x.parent.Load()
+		if p == x {
+			return x
+		}
+		x = p
+	}
+}
+
+// Payload returns the payload of the set containing x as observed by a
+// single traversal. If the owner unions concurrently, the result is the
+// payload either before or after that union.
+func (f *ConcurrentForest) Payload(x *CNode) any {
+	return *f.Find(x).payload.Load()
+}
+
+// SetPayload replaces the payload of the set containing x. Owner only.
+func (f *ConcurrentForest) SetPayload(x *CNode, payload any) {
+	f.Find(x).payload.Store(&payload)
+}
+
+// Union merges the sets containing x and y, stamps the surviving root with
+// payload, and returns that root. The caller must own both sets (no other
+// goroutine may concurrently union or restamp either).
+func (f *ConcurrentForest) Union(x, y *CNode, payload any) *CNode {
+	f.Unions.Add(1)
+	rx, ry := f.Find(x), f.Find(y)
+	if rx == ry {
+		rx.payload.Store(&payload)
+		return rx
+	}
+	if rx.rank < ry.rank {
+		rx, ry = ry, rx
+	}
+	// Publish the winner's payload first, then attach the loser, so a
+	// racing find through ry never sees a root with a stale payload
+	// after the union is visible.
+	rx.payload.Store(&payload)
+	if rx.rank == ry.rank {
+		rx.rank++
+	}
+	ry.parent.Store(rx)
+	return rx
+}
+
+// SameSet reports whether x and y are currently in the same set. Under a
+// racing union the answer corresponds to some instant during the call.
+func (f *ConcurrentForest) SameSet(x, y *CNode) bool {
+	return f.Find(x) == f.Find(y)
+}

@@ -1,0 +1,94 @@
+// Package dsu provides the disjoint-set (union-find) data structures that
+// back the SP-bags algorithm (Feng–Leiserson 1997) and the local tier of
+// SP-hybrid (Bender et al., SPAA 2004, Section 5).
+//
+// Two variants are provided:
+//
+//   - Forest: the classical serial structure with union by rank and path
+//     compression, giving O(α(m, n)) amortized per operation. It backs the
+//     serial SP-bags algorithm.
+//
+//   - ConcurrentForest: union by rank only (no path compression), with
+//     atomic parent pointers, giving O(lg n) worst-case per operation.
+//     Finds never write, so any number of concurrent finds may race with
+//     a single owner performing unions — the regime SP-hybrid's
+//     FIND-TRACE requires (paper Section 5: "our implementation of the
+//     local tier uses the disjoint-set data structure with union by rank
+//     only").
+//
+// Set identity is carried by a user payload attached to each set root: a
+// find returns the payload of the set containing the node. Union chooses
+// the surviving root by rank, and the caller supplies the payload the
+// merged set should carry.
+package dsu
+
+// Node is an element of a serial Forest. The zero value is not valid; use
+// Forest.MakeSet.
+type Node struct {
+	parent *Node
+	rank   int
+	// payload is meaningful only while the node is a set root.
+	payload any
+}
+
+// Forest is the classical serial union-find with union by rank and path
+// compression. The zero value is ready to use.
+type Forest struct {
+	// Finds and Unions count operations for the benchmark harness.
+	Finds  int64
+	Unions int64
+}
+
+// MakeSet creates a singleton set with the given payload and returns its
+// node.
+func (f *Forest) MakeSet(payload any) *Node {
+	n := &Node{payload: payload}
+	n.parent = n
+	return n
+}
+
+// Find returns the root of x's set, applying path compression.
+func (f *Forest) Find(x *Node) *Node {
+	f.Finds++
+	root := x
+	for root.parent != root {
+		root = root.parent
+	}
+	for x != root {
+		next := x.parent
+		x.parent = root
+		x = next
+	}
+	return root
+}
+
+// Payload returns the payload of the set containing x.
+func (f *Forest) Payload(x *Node) any { return f.Find(x).payload }
+
+// SetPayload replaces the payload of the set containing x.
+func (f *Forest) SetPayload(x *Node, payload any) { f.Find(x).payload = payload }
+
+// Union merges the sets containing x and y and stamps the surviving root
+// with payload. It returns the surviving root. Union of a set with itself
+// just restamps the payload.
+func (f *Forest) Union(x, y *Node, payload any) *Node {
+	f.Unions++
+	rx, ry := f.Find(x), f.Find(y)
+	if rx == ry {
+		rx.payload = payload
+		return rx
+	}
+	if rx.rank < ry.rank {
+		rx, ry = ry, rx
+	}
+	ry.parent = rx
+	if rx.rank == ry.rank {
+		rx.rank++
+	}
+	rx.payload = payload
+	ry.payload = nil
+	return rx
+}
+
+// SameSet reports whether x and y currently belong to the same set.
+func (f *Forest) SameSet(x, y *Node) bool { return f.Find(x) == f.Find(y) }

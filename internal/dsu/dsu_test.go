@@ -1,0 +1,238 @@
+package dsu
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForestBasics(t *testing.T) {
+	var f Forest
+	a := f.MakeSet("A")
+	b := f.MakeSet("B")
+	if f.SameSet(a, b) {
+		t.Fatal("fresh sets must be distinct")
+	}
+	if f.Payload(a) != "A" || f.Payload(b) != "B" {
+		t.Fatal("payloads wrong")
+	}
+	r := f.Union(a, b, "AB")
+	if !f.SameSet(a, b) {
+		t.Fatal("union failed")
+	}
+	if f.Payload(a) != "AB" || f.Payload(b) != "AB" {
+		t.Fatal("merged payload wrong")
+	}
+	if f.Find(a) != r || f.Find(b) != r {
+		t.Fatal("find must return the surviving root")
+	}
+}
+
+func TestForestSelfUnionRestamps(t *testing.T) {
+	var f Forest
+	a := f.MakeSet("old")
+	b := f.MakeSet("x")
+	f.Union(a, b, "m1")
+	if got := f.Union(a, b, "m2"); f.Payload(a) != "m2" || got != f.Find(b) {
+		t.Fatal("self union must restamp payload")
+	}
+}
+
+func TestForestSetPayload(t *testing.T) {
+	var f Forest
+	a := f.MakeSet("p")
+	b := f.MakeSet("q")
+	f.Union(a, b, "r")
+	f.SetPayload(a, "s")
+	if f.Payload(b) != "s" {
+		t.Fatal("SetPayload must affect the whole set")
+	}
+}
+
+func TestForestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 300
+	var f Forest
+	nodes := make([]*Node, n)
+	naive := make([]int, n) // naive[i] = set id
+	for i := range nodes {
+		nodes[i] = f.MakeSet(i)
+		naive[i] = i
+	}
+	for op := 0; op < 1000; op++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			f.Union(nodes[i], nodes[j], op)
+			old, new_ := naive[j], naive[i]
+			for k := range naive {
+				if naive[k] == old {
+					naive[k] = new_
+				}
+			}
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		if f.SameSet(nodes[a], nodes[b]) != (naive[a] == naive[b]) {
+			t.Fatalf("op %d: SameSet(%d,%d) disagrees with model", op, a, b)
+		}
+	}
+}
+
+func TestForestPathCompressionFlattens(t *testing.T) {
+	var f Forest
+	// Build a chain by unioning in an order that defeats rank
+	// shortcuts, then check Find flattens it.
+	nodes := make([]*Node, 64)
+	for i := range nodes {
+		nodes[i] = f.MakeSet(i)
+	}
+	for i := 1; i < len(nodes); i++ {
+		f.Union(nodes[0], nodes[i], i)
+	}
+	root := f.Find(nodes[63])
+	for _, n := range nodes {
+		if n.parent != root && n != root {
+			t.Fatal("path compression should leave every touched node pointing at the root")
+		}
+	}
+}
+
+func TestConcurrentForestBasics(t *testing.T) {
+	var f ConcurrentForest
+	a := f.MakeSet("A")
+	b := f.MakeSet("B")
+	if f.SameSet(a, b) {
+		t.Fatal("fresh sets must be distinct")
+	}
+	f.Union(a, b, "AB")
+	if !f.SameSet(a, b) || f.Payload(a) != "AB" || f.Payload(b) != "AB" {
+		t.Fatal("union/payload wrong")
+	}
+	f.SetPayload(b, "C")
+	if f.Payload(a) != "C" {
+		t.Fatal("SetPayload must affect whole set")
+	}
+}
+
+func TestConcurrentForestRankBounded(t *testing.T) {
+	// With union by rank, a set of n elements has a tree of height
+	// ≤ log2(n); Find terminates in that many steps. We check the rank
+	// of the root never exceeds log2(n).
+	var f ConcurrentForest
+	const n = 1 << 10
+	nodes := make([]*CNode, n)
+	for i := range nodes {
+		nodes[i] = f.MakeSet(i)
+	}
+	// Union in pairs, then pairs of pairs, etc. (worst case for rank).
+	for stride := 1; stride < n; stride *= 2 {
+		for i := 0; i+stride < n; i += 2 * stride {
+			f.Union(nodes[i], nodes[i+stride], i)
+		}
+	}
+	root := f.Find(nodes[0])
+	if root.rank > 10 {
+		t.Fatalf("rank %d exceeds log2(n)=10", root.rank)
+	}
+}
+
+// TestConcurrentFindsDuringUnions races many reader goroutines doing finds
+// against one owner performing unions, verifying that every observed
+// payload is a legal value (one of the stamps used) and that the final
+// state is fully merged. Run with -race to check memory safety.
+func TestConcurrentFindsDuringUnions(t *testing.T) {
+	var f ConcurrentForest
+	const n = 2048
+	nodes := make([]*CNode, n)
+	legal := make(map[any]bool)
+	for i := range nodes {
+		nodes[i] = f.MakeSet(i)
+		legal[i] = true
+	}
+	for i := 0; i < n; i++ {
+		legal[-i] = true // union stamps
+	}
+	var stop atomic.Bool
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				x := nodes[rng.Intn(n)]
+				p := f.Payload(x)
+				if !legal[p] {
+					bad.Add(1)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	for i := 1; i < n; i++ {
+		f.Union(nodes[0], nodes[i], -i)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d finds observed illegal payloads", bad.Load())
+	}
+	for i := 1; i < n; i++ {
+		if !f.SameSet(nodes[0], nodes[i]) {
+			t.Fatal("final state not fully merged")
+		}
+	}
+	if f.Payload(nodes[5]) != -(n - 1) {
+		t.Fatalf("final payload = %v, want %d", f.Payload(nodes[5]), -(n - 1))
+	}
+}
+
+func TestQuickForestsAgree(t *testing.T) {
+	// Property: the serial and concurrent forests agree on SameSet for
+	// any random union schedule.
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 40
+		var fs Forest
+		var fc ConcurrentForest
+		a := make([]*Node, n)
+		b := make([]*CNode, n)
+		for i := 0; i < n; i++ {
+			a[i] = fs.MakeSet(i)
+			b[i] = fc.MakeSet(i)
+		}
+		for k := 0; k < int(ops); k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			fs.Union(a[i], a[j], k)
+			fc.Union(b[i], b[j], k)
+		}
+		for k := 0; k < 100; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if fs.SameSet(a[i], a[j]) != fc.SameSet(b[i], b[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpCounters(t *testing.T) {
+	var f Forest
+	a, b := f.MakeSet(1), f.MakeSet(2)
+	f.Union(a, b, 3)
+	f.Find(a)
+	if f.Unions != 1 || f.Finds < 3 {
+		t.Fatalf("counters: unions=%d finds=%d", f.Unions, f.Finds)
+	}
+	var c ConcurrentForest
+	x, y := c.MakeSet(1), c.MakeSet(2)
+	c.Union(x, y, 3)
+	if c.Unions.Load() != 1 || c.Finds.Load() < 2 {
+		t.Fatalf("concurrent counters: unions=%d finds=%d", c.Unions.Load(), c.Finds.Load())
+	}
+}

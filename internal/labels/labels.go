@@ -1,0 +1,262 @@
+// Package labels implements the two static labeling schemes the paper
+// compares against (Figure 3): the English-Hebrew scheme of Nudler and
+// Rudolph and the offset-span scheme of Mellor-Crummey. Both generate
+// per-thread labels on the fly during the left-to-right unfolding of the
+// SP parse tree; once generated, the labels never change (in contrast to
+// SP-order's order-maintenance labels). Their weakness — and the reason
+// SP-order beats them — is that label lengths grow with the program: with
+// the depth of fork nesting for both schemes here (worst case the number
+// of forks, Θ(f), for English-Hebrew; Θ(d) for offset-span), so queries
+// cost time proportional to label length rather than O(1).
+package labels
+
+import (
+	"fmt"
+
+	"repro/internal/spt"
+)
+
+// EnglishHebrew holds static English-Hebrew labels for every thread of a
+// parse tree, in the style of Nudler and Rudolph. The English label is the
+// thread's execution index in the serial left-to-right walk (a single
+// integer: during an English-order unfolding the English label is trivial
+// to generate on the fly). The Hebrew label is a variable-length vector
+// generated on the fly: the walk cannot know how many threads a P-node's
+// right subtree will contain, so the label grows by two components at
+// every P-node (a branch discriminator ordering right before left, and a
+// fresh serial counter), which is exactly the unbounded-growth behavior
+// the paper criticizes.
+type EnglishHebrew struct {
+	eng []int64   // by thread visit order position? indexed by node ID
+	heb [][]int32 // indexed by node ID
+	t   *spt.Tree
+}
+
+// LabelEnglishHebrew labels all threads of t in one left-to-right walk.
+func LabelEnglishHebrew(t *spt.Tree) *EnglishHebrew {
+	eh := &EnglishHebrew{
+		eng: make([]int64, t.Len()),
+		heb: make([][]int32, t.Len()),
+		t:   t,
+	}
+	var eCounter int64
+	// ctx is the current Hebrew context; its last component is a serial
+	// counter bumped after each leaf.
+	ctx := []int32{0}
+	var walk func(n *spt.Node)
+	walk = func(n *spt.Node) {
+		switch n.Kind() {
+		case spt.Leaf:
+			eh.eng[n.ID] = eCounter
+			eCounter++
+			lab := make([]int32, len(ctx))
+			copy(lab, ctx)
+			eh.heb[n.ID] = lab
+			ctx[len(ctx)-1]++
+		case spt.SNode:
+			walk(n.Left())
+			walk(n.Right())
+		default: // PNode
+			saved := make([]int32, len(ctx))
+			copy(saved, ctx)
+			// Left subtree: branch tag 1 (Hebrew-later), fresh counter.
+			ctx = append(ctx, 1, 0)
+			walk(n.Left())
+			// Right subtree: branch tag 0 (Hebrew-earlier), fresh counter.
+			ctx = append(saved, 0, 0)
+			walk(n.Right())
+			// Continue after the join: successors must exceed both
+			// subtrees in Hebrew order.
+			ctx = saved
+			ctx[len(ctx)-1]++
+		}
+	}
+	walk(t.Root())
+	return eh
+}
+
+// compareVec lexicographically compares two int32 vectors.
+func compareVec(a, b []int32) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return +1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return +1
+	}
+	return 0
+}
+
+// Precedes reports u ≺ v: u precedes v in both the English and the Hebrew
+// order (Lemma 1).
+func (eh *EnglishHebrew) Precedes(u, v *spt.Node) bool {
+	if u == v {
+		return false
+	}
+	return eh.eng[u.ID] < eh.eng[v.ID] && compareVec(eh.heb[u.ID], eh.heb[v.ID]) < 0
+}
+
+// Parallel reports u ∥ v: the English and Hebrew orders disagree
+// (Corollary 2).
+func (eh *EnglishHebrew) Parallel(u, v *spt.Node) bool {
+	if u == v {
+		return false
+	}
+	eLess := eh.eng[u.ID] < eh.eng[v.ID]
+	hLess := compareVec(eh.heb[u.ID], eh.heb[v.ID]) < 0
+	return eLess != hLess
+}
+
+// LabelWords returns the label size of thread u in 4-byte words (the
+// Hebrew vector plus the English integer), the "space per node" column of
+// Figure 3.
+func (eh *EnglishHebrew) LabelWords(u *spt.Node) int {
+	return len(eh.heb[u.ID]) + 2 // int64 English label = 2 words
+}
+
+// MaxLabelWords returns the largest label size across all threads.
+func (eh *EnglishHebrew) MaxLabelWords() int {
+	max := 0
+	for _, l := range eh.t.Threads() {
+		if w := eh.LabelWords(l); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// OSPair is one (offset, span) component of an offset-span label.
+type OSPair struct {
+	Offset int64
+	Span   int64
+}
+
+func (p OSPair) String() string { return fmt.Sprintf("[%d,%d]", p.Offset, p.Span) }
+
+// OffsetSpan holds Mellor-Crummey offset-span labels for every thread of
+// a parse tree. A label is a sequence of (offset, span) pairs: a fork of
+// span s gives child i the parent label extended with [i, s]; a join pops
+// the last pair and advances the new last pair's offset by its span. Two
+// threads are ordered iff at the first differing pair the offsets are
+// congruent modulo the span (serial descendants advance offsets in
+// multiples of the span); incongruent offsets mean sibling branches,
+// hence parallel. Label length is Θ(d), the depth of nested parallelism.
+type OffsetSpan struct {
+	labels [][]OSPair // indexed by node ID
+	t      *spt.Tree
+}
+
+// LabelOffsetSpan labels all threads of t in one left-to-right walk.
+func LabelOffsetSpan(t *spt.Tree) *OffsetSpan {
+	os := &OffsetSpan{labels: make([][]OSPair, t.Len()), t: t}
+	ctx := []OSPair{{0, 1}}
+	var walk func(n *spt.Node)
+	walk = func(n *spt.Node) {
+		switch n.Kind() {
+		case spt.Leaf:
+			lab := make([]OSPair, len(ctx))
+			copy(lab, ctx)
+			os.labels[n.ID] = lab
+			// Serial successor: advance the offset by the span, as
+			// at a (degenerate) join.
+			ctx[len(ctx)-1].Offset += ctx[len(ctx)-1].Span
+		case spt.SNode:
+			walk(n.Left())
+			walk(n.Right())
+		default: // PNode
+			saved := make([]OSPair, len(ctx))
+			copy(saved, ctx)
+			ctx = append(ctx, OSPair{0, 2})
+			walk(n.Left())
+			ctx = append(saved[:len(saved):len(saved)], OSPair{1, 2})
+			walk(n.Right())
+			// Join: pop and advance.
+			ctx = saved
+			ctx[len(ctx)-1].Offset += ctx[len(ctx)-1].Span
+		}
+	}
+	walk(t.Root())
+	return os
+}
+
+// relate compares two offset-span labels: -1 (precedes), +1 (follows),
+// 0 (parallel).
+func relateOS(a, b []OSPair) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		pa, pb := a[i], b[i]
+		if pa == pb {
+			continue
+		}
+		if pa.Span != pb.Span {
+			// Different fork contexts at the same depth: parallel.
+			return 0
+		}
+		if pa.Offset%pa.Span != pb.Offset%pa.Span {
+			return 0 // sibling branches of the same fork
+		}
+		if pa.Offset < pb.Offset {
+			return -1
+		}
+		return +1
+	}
+	// One label is a prefix of the other; the shorter thread is an
+	// ancestor position and executed first.
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return +1
+	}
+	return 0
+}
+
+// Precedes reports u ≺ v under the offset-span ordering rule.
+func (os *OffsetSpan) Precedes(u, v *spt.Node) bool {
+	if u == v {
+		return false
+	}
+	return relateOS(os.labels[u.ID], os.labels[v.ID]) < 0
+}
+
+// Parallel reports u ∥ v under the offset-span ordering rule.
+func (os *OffsetSpan) Parallel(u, v *spt.Node) bool {
+	if u == v {
+		return false
+	}
+	return relateOS(os.labels[u.ID], os.labels[v.ID]) == 0
+}
+
+// LabelWords returns the label size of thread u in 4-byte words (each
+// pair is two int64s = 4 words), the "space per node" column of Figure 3.
+func (os *OffsetSpan) LabelWords(u *spt.Node) int {
+	return 4 * len(os.labels[u.ID])
+}
+
+// MaxLabelWords returns the largest label size across all threads.
+func (os *OffsetSpan) MaxLabelWords() int {
+	max := 0
+	for _, l := range os.t.Threads() {
+		if w := os.LabelWords(l); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// Label returns u's offset-span label (for display and tests).
+func (os *OffsetSpan) Label(u *spt.Node) []OSPair { return os.labels[u.ID] }

@@ -1,0 +1,212 @@
+package labels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spt"
+)
+
+// checkAgainstOracle verifies a labeler agrees with the LCA oracle on all
+// thread pairs of a tree.
+func checkAgainstOracle(t *testing.T, tr *spt.Tree, name string,
+	precedes, parallel func(u, v *spt.Node) bool) {
+	t.Helper()
+	o := spt.NewOracle(tr)
+	threads := tr.Threads()
+	for _, u := range threads {
+		for _, v := range threads {
+			if u == v {
+				if precedes(u, v) || parallel(u, v) {
+					t.Fatalf("%s: self relation must be neither", name)
+				}
+				continue
+			}
+			rel := o.Relate(u, v)
+			if got := precedes(u, v); got != (rel == spt.Precedes) {
+				t.Fatalf("%s: Precedes(%s,%s) = %v, oracle %v", name, u, v, got, rel)
+			}
+			if got := parallel(u, v); got != (rel == spt.Parallel) {
+				t.Fatalf("%s: Parallel(%s,%s) = %v, oracle %v", name, u, v, got, rel)
+			}
+		}
+	}
+}
+
+func TestEnglishHebrewOnPaperExample(t *testing.T) {
+	tr := spt.PaperExample()
+	eh := LabelEnglishHebrew(tr)
+	checkAgainstOracle(t, tr, "EH", eh.Precedes, eh.Parallel)
+}
+
+func TestOffsetSpanOnPaperExample(t *testing.T) {
+	tr := spt.PaperExample()
+	os := LabelOffsetSpan(tr)
+	checkAgainstOracle(t, tr, "OS", os.Precedes, os.Parallel)
+}
+
+func TestBothOnCanonicalShapes(t *testing.T) {
+	shapes := map[string]*spt.Tree{
+		"chain":    spt.DeepChain(20, 1),
+		"fan":      spt.WideFan(20, 1),
+		"balanced": spt.BalancedPTree(4, 1),
+		"fib":      spt.FibTree(7, 1),
+		"blocks":   spt.SyncBlockChain(3, 5, 2),
+	}
+	for name, tr := range shapes {
+		eh := LabelEnglishHebrew(tr)
+		checkAgainstOracle(t, tr, "EH/"+name, eh.Precedes, eh.Parallel)
+		os := LabelOffsetSpan(tr)
+		checkAgainstOracle(t, tr, "OS/"+name, os.Precedes, os.Parallel)
+	}
+}
+
+func TestBothOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		cfg := spt.DefaultGenConfig(2 + rng.Intn(50))
+		cfg.PProb = []float64{0.15, 0.5, 0.85}[trial%3]
+		tr := spt.Generate(cfg, rng)
+		eh := LabelEnglishHebrew(tr)
+		checkAgainstOracle(t, tr, "EH", eh.Precedes, eh.Parallel)
+		os := LabelOffsetSpan(tr)
+		checkAgainstOracle(t, tr, "OS", os.Precedes, os.Parallel)
+	}
+}
+
+func TestQuickLabelersMatchOracle(t *testing.T) {
+	f := func(seed int64, n uint8, pp uint8) bool {
+		cfg := spt.DefaultGenConfig(int(n)%40 + 2)
+		cfg.PProb = float64(pp%101) / 100
+		tr := spt.Generate(cfg, rand.New(rand.NewSource(seed)))
+		o := spt.NewOracle(tr)
+		eh := LabelEnglishHebrew(tr)
+		os := LabelOffsetSpan(tr)
+		threads := tr.Threads()
+		rng := rand.New(rand.NewSource(seed + 1))
+		for k := 0; k < 60; k++ {
+			u := threads[rng.Intn(len(threads))]
+			v := threads[rng.Intn(len(threads))]
+			if u == v {
+				continue
+			}
+			rel := o.Relate(u, v)
+			if eh.Precedes(u, v) != (rel == spt.Precedes) {
+				return false
+			}
+			if eh.Parallel(u, v) != (rel == spt.Parallel) {
+				return false
+			}
+			if os.Precedes(u, v) != (rel == spt.Precedes) {
+				return false
+			}
+			if os.Parallel(u, v) != (rel == spt.Parallel) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLabelGrowth verifies the Figure 3 claims about label sizes: both
+// schemes' labels grow with the depth of nested parallelism, while
+// deepening *serial* nesting leaves offset-span and English-Hebrew labels
+// flat.
+func TestLabelGrowth(t *testing.T) {
+	// Nested parallelism: balanced P-trees of increasing depth.
+	var prevEH, prevOS int
+	for levels := 2; levels <= 8; levels += 2 {
+		tr := spt.BalancedPTree(levels, 1)
+		eh := LabelEnglishHebrew(tr).MaxLabelWords()
+		os := LabelOffsetSpan(tr).MaxLabelWords()
+		if eh <= prevEH {
+			t.Fatalf("EH label size must grow with P-nesting: %d then %d", prevEH, eh)
+		}
+		if os <= prevOS {
+			t.Fatalf("OS label size must grow with P-nesting: %d then %d", prevOS, os)
+		}
+		prevEH, prevOS = eh, os
+	}
+	// Serial chains: size stays constant regardless of length.
+	small := LabelOffsetSpan(spt.DeepChain(4, 1)).MaxLabelWords()
+	large := LabelOffsetSpan(spt.DeepChain(4096, 1)).MaxLabelWords()
+	if small != large {
+		t.Fatalf("OS labels must not grow on serial chains: %d vs %d", small, large)
+	}
+	smallEH := LabelEnglishHebrew(spt.DeepChain(4, 1)).MaxLabelWords()
+	largeEH := LabelEnglishHebrew(spt.DeepChain(4096, 1)).MaxLabelWords()
+	if smallEH != largeEH {
+		t.Fatalf("EH labels must not grow on serial chains: %d vs %d", smallEH, largeEH)
+	}
+}
+
+// TestOffsetSpanDeepVsWide pins the Θ(d) claim: offset-span labels on a
+// wide fan (right-leaning P chain, d = n-1) grow linearly, and on a
+// balanced tree of the same size only logarithmically.
+func TestOffsetSpanDeepVsWide(t *testing.T) {
+	fan := LabelOffsetSpan(spt.WideFan(64, 1)).MaxLabelWords()
+	bal := LabelOffsetSpan(spt.BalancedPTree(6, 1)).MaxLabelWords() // 64 threads
+	if fan <= bal*2 {
+		t.Fatalf("wide fan labels (%d words) should far exceed balanced (%d words)", fan, bal)
+	}
+}
+
+func TestEnglishLabelIsExecutionIndex(t *testing.T) {
+	tr := spt.PaperExample()
+	eh := LabelEnglishHebrew(tr)
+	for i, u := range tr.EnglishOrder() {
+		if eh.eng[u.ID] != int64(i) {
+			t.Fatalf("English label of %s = %d, want %d", u, eh.eng[u.ID], i)
+		}
+	}
+}
+
+func TestHebrewLabelsMatchHebrewWalk(t *testing.T) {
+	// The Hebrew vectors, sorted, must order threads exactly as the
+	// Hebrew walk does.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		tr := spt.Generate(spt.DefaultGenConfig(2+rng.Intn(40)), rng)
+		eh := LabelEnglishHebrew(tr)
+		hOrder := tr.HebrewOrder()
+		for i := 0; i < len(hOrder)-1; i++ {
+			u, v := hOrder[i], hOrder[i+1]
+			if compareVec(eh.heb[u.ID], eh.heb[v.ID]) >= 0 {
+				t.Fatalf("trial %d: Hebrew labels out of order at %d: %v !< %v",
+					trial, i, eh.heb[u.ID], eh.heb[v.ID])
+			}
+		}
+	}
+}
+
+func TestOSPairString(t *testing.T) {
+	if got := (OSPair{3, 2}).String(); got != "[3,2]" {
+		t.Fatalf("OSPair.String() = %q", got)
+	}
+}
+
+func TestLabelAccessors(t *testing.T) {
+	tr := spt.WideFan(4, 1)
+	os := LabelOffsetSpan(tr)
+	u := tr.Threads()[0]
+	if len(os.Label(u)) == 0 {
+		t.Fatal("empty offset-span label")
+	}
+	if os.LabelWords(u) != 4*len(os.Label(u)) {
+		t.Fatal("LabelWords mismatch")
+	}
+	eh := LabelEnglishHebrew(tr)
+	if eh.LabelWords(u) < 3 {
+		t.Fatal("EH label words too small")
+	}
+	if eh.MaxLabelWords() < eh.LabelWords(u) {
+		t.Fatal("MaxLabelWords < LabelWords")
+	}
+	if os.MaxLabelWords() < os.LabelWords(u) {
+		t.Fatal("OS MaxLabelWords < LabelWords")
+	}
+}

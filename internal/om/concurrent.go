@@ -1,0 +1,301 @@
+package om
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// concUniverseBits is the label-universe size for the concurrent list.
+const concUniverseBits = 62
+
+// CItem is an element of a Concurrent order-maintenance list. Its label
+// and timestamp are read lock-free by queries and written only while the
+// list's insertion lock is held.
+type CItem struct {
+	label atomic.Uint64
+	ts    atomic.Uint64
+
+	// prev/next are only touched under the list lock.
+	prev, next *CItem
+}
+
+// Concurrent is the order-maintenance structure of SP-hybrid's global tier
+// (Section 4 of the paper): insertions serialize on a single lock, while
+// OM-PRECEDES queries run lock-free, validating their reads against
+// per-item timestamps and retrying if a concurrent rebalance invalidated
+// them. Rebalances use the paper's five passes:
+//
+//  1. determine the range of items to rebalance;
+//  2. increment the timestamp of every item in the range;
+//  3. assign each item its minimum possible label, smallest to largest
+//     (labels only move down, so relative order is preserved);
+//  4. increment the timestamps again;
+//  5. assign final labels, largest to smallest (labels only move up).
+//
+// Because the relative order of items never changes mid-rebalance and
+// every label/timestamp is read and written atomically, a query either
+// observes a consistent snapshot (validated by the double read) or
+// retries.
+type Concurrent struct {
+	mu    sync.Mutex
+	front *CItem
+	n     int
+
+	// QueryRetries counts failed query attempts that had to retry
+	// (bucket B5 of the paper's Theorem 10 accounting). Relabels counts
+	// items relabeled by rebalances.
+	QueryRetries atomic.Int64
+	Relabels     atomic.Int64
+	Rebalances   atomic.Int64
+}
+
+// NewConcurrent returns an empty concurrent order-maintenance list.
+func NewConcurrent() *Concurrent { return &Concurrent{} }
+
+// Len returns the number of items (taking the lock; intended for tests
+// and reporting, not hot paths).
+func (c *Concurrent) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// InsertFirst inserts and returns the first item of an empty list.
+func (c *Concurrent) InsertFirst() *CItem {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n != 0 {
+		panic("om: InsertFirst on non-empty Concurrent list")
+	}
+	it := &CItem{}
+	it.label.Store(1 << (concUniverseBits - 1))
+	c.front = it
+	c.n = 1
+	return it
+}
+
+// InsertAfter inserts a new item immediately after x and returns it.
+func (c *Concurrent) InsertAfter(x *CItem) *CItem {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.insertAfterLocked(x)
+}
+
+// InsertBefore inserts a new item immediately before x and returns it.
+func (c *Concurrent) InsertBefore(x *CItem) *CItem {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if x.prev != nil {
+		return c.insertAfterLocked(x.prev)
+	}
+	// Insert at the very front: use the gap below x's label.
+	for x.label.Load() < 2 {
+		c.rebalanceLocked(x)
+	}
+	it := &CItem{next: x}
+	it.label.Store(x.label.Load() / 2)
+	x.prev = it
+	c.front = it
+	c.n++
+	return it
+}
+
+// MultiInsertAround performs the paper's OM-MULTI-INSERT: it inserts the
+// items before[0..] immediately before u (in order) and after[0..]
+// immediately after u (in order), all under a single lock acquisition, and
+// returns the newly created items. With before = {A, B} and after = {C, D}
+// the resulting order is A, B, u, C, D — matching
+// OM-MULTI-INSERT(L, A, B, U, C, D) in Figure 8.
+func (c *Concurrent) MultiInsertAround(u *CItem, nBefore, nAfter int) (before, after []*CItem) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before = make([]*CItem, nBefore)
+	after = make([]*CItem, nAfter)
+	// Insert the "before" items left to right: each is inserted
+	// immediately before u, so earlier ones end up leftmost.
+	for i := 0; i < nBefore; i++ {
+		var it *CItem
+		if u.prev != nil {
+			it = c.insertAfterLocked(u.prev)
+		} else {
+			for u.label.Load() < 2 {
+				c.rebalanceLocked(u)
+			}
+			it = &CItem{next: u}
+			it.label.Store(u.label.Load() / 2)
+			u.prev = it
+			c.front = it
+			c.n++
+		}
+		before[i] = it
+	}
+	prev := u
+	for i := 0; i < nAfter; i++ {
+		prev = c.insertAfterLocked(prev)
+		after[i] = prev
+	}
+	return before, after
+}
+
+func (c *Concurrent) insertAfterLocked(x *CItem) *CItem {
+	for {
+		lo := x.label.Load()
+		var hi uint64
+		if x.next != nil {
+			hi = x.next.label.Load()
+		} else {
+			hi = 1 << concUniverseBits
+		}
+		if hi-lo < 2 {
+			c.rebalanceLocked(x)
+			continue
+		}
+		it := &CItem{prev: x, next: x.next}
+		it.label.Store(lo + (hi-lo)/2)
+		if x.next != nil {
+			x.next.prev = it
+		}
+		x.next = it
+		c.n++
+		return it
+	}
+}
+
+// rebalanceLocked relabels a range of items around x using the five-pass
+// protocol. Caller holds c.mu.
+func (c *Concurrent) rebalanceLocked(x *CItem) {
+	c.Rebalances.Add(1)
+	// Pass 1: determine the range. Grow power-of-two aligned label
+	// ranges around x until the density drops below the threshold
+	// (T/2)^i, as in the serial top level.
+	for i := uint(1); i <= concUniverseBits; i++ {
+		size := uint64(1) << i
+		mask := size - 1
+		lo := x.label.Load() &^ mask
+		hi := lo + mask
+		first := x
+		for first.prev != nil && first.prev.label.Load() >= lo {
+			first = first.prev
+		}
+		count := 0
+		last := first
+		for it := first; it != nil && it.label.Load() <= hi; it = it.next {
+			count++
+			last = it
+		}
+		thresh := float64(size) * math.Pow(overflowT/2, float64(i))
+		if float64(count+1) > thresh && i < concUniverseBits {
+			continue
+		}
+		gap := size / uint64(count+1)
+		if gap < 2 {
+			if i == concUniverseBits {
+				panic("om: concurrent label universe exhausted")
+			}
+			continue
+		}
+		c.relabelRange(first, last, count, lo, gap)
+		return
+	}
+	panic("om: unreachable")
+}
+
+// relabelRange performs passes 2–5 on the items first..last (count items),
+// assigning final labels lo+gap, lo+2·gap, … .
+func (c *Concurrent) relabelRange(first, last *CItem, count int, lo, gap uint64) {
+	// Pass 2: mark the start of the rebalance.
+	for it := first; ; it = it.next {
+		it.ts.Add(1)
+		if it == last {
+			break
+		}
+	}
+	// Pass 3: minimum possible labels, smallest to largest. Item j gets
+	// lo + j. Labels strictly descend toward their minima (old label of
+	// item j is ≥ lo+j because labels are strictly increasing integers
+	// within [lo, hi]), so order is preserved after every atomic store.
+	j := uint64(0)
+	for it := first; ; it = it.next {
+		it.label.Store(lo + j)
+		c.Relabels.Add(1)
+		j++
+		if it == last {
+			break
+		}
+	}
+	// Pass 4: mark the second phase.
+	for it := first; ; it = it.next {
+		it.ts.Add(1)
+		if it == last {
+			break
+		}
+	}
+	// Pass 5: final labels, largest to smallest. Item j gets
+	// lo + (j+1)·gap ≥ lo + j, so labels only move up; processing in
+	// descending order preserves the relative order after every store.
+	items := make([]*CItem, 0, count)
+	for it := first; ; it = it.next {
+		items = append(items, it)
+		if it == last {
+			break
+		}
+	}
+	for k := len(items) - 1; k >= 0; k-- {
+		items[k].label.Store(lo + uint64(k+1)*gap)
+	}
+}
+
+// Precedes reports whether x strictly precedes y, without locking. It uses
+// the paper's validation protocol: read (label, timestamp) of x, then of
+// y, then re-read both; if every second reading matches the first, the
+// comparison of labels is authoritative, otherwise retry.
+func (c *Concurrent) Precedes(x, y *CItem) bool {
+	if x == y {
+		return false
+	}
+	for {
+		lx1, tx1 := x.label.Load(), x.ts.Load()
+		ly1, ty1 := y.label.Load(), y.ts.Load()
+		lx2, tx2 := x.label.Load(), x.ts.Load()
+		ly2, ty2 := y.label.Load(), y.ts.Load()
+		if lx1 == lx2 && tx1 == tx2 && ly1 == ly2 && ty1 == ty2 {
+			return lx1 < ly1
+		}
+		c.QueryRetries.Add(1)
+	}
+}
+
+// Items returns the items in order (takes the lock; for tests).
+func (c *Concurrent) Items() []*CItem {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*CItem, 0, c.n)
+	for it := c.front; it != nil; it = it.next {
+		out = append(out, it)
+	}
+	return out
+}
+
+// checkInvariants verifies labels strictly increase; tests call it via the
+// export_test shim.
+func (c *Concurrent) checkInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var prev uint64
+	firstIt := true
+	count := 0
+	for it := c.front; it != nil; it = it.next {
+		l := it.label.Load()
+		if !firstIt && l <= prev {
+			return errLabelsOutOfOrder
+		}
+		firstIt = false
+		prev = l
+		count++
+	}
+	if count != c.n {
+		return errCountMismatch
+	}
+	return nil
+}

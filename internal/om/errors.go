@@ -1,0 +1,8 @@
+package om
+
+import "errors"
+
+var (
+	errLabelsOutOfOrder = errors.New("om: labels out of order")
+	errCountMismatch    = errors.New("om: item count mismatch")
+)

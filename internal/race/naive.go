@@ -1,0 +1,107 @@
+package race
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/spt"
+)
+
+// This file implements the ablation baseline of Section 3: the naive
+// parallelization of SP-order in which every processor shares one
+// SP-order structure and takes a single global lock around every
+// OM-INSERT and OM-PRECEDES. It is correct but its apparent work can
+// blow up to Θ(P·T1) under contention — the failure mode SP-hybrid's
+// two-tier design exists to avoid. The Theorem 10 benchmarks run this
+// detector head-to-head against DetectParallel.
+
+// NaiveReport extends Report with scheduler statistics and the global
+// lock's acquisition count (every acquisition is a potential stall of
+// P−1 other workers).
+type NaiveReport struct {
+	Report
+	Sched            sched.Stats
+	LockAcquisitions int64
+}
+
+// naiveClient drives the work-stealing scheduler while maintaining the
+// shared, fully locked SP-order structure.
+type naiveClient struct {
+	l     *core.LockedSPOrder
+	sh    *shadow
+	yield bool
+
+	mu       sync.Mutex
+	races    []Race
+	accesses atomic.Int64
+	queries  atomic.Int64
+}
+
+func (c *naiveClient) RootFrame() *sched.Frame { return &sched.Frame{} }
+func (c *naiveClient) SpawnChild(w int, parent *sched.Frame, pnode *spt.Node) *sched.Frame {
+	return &sched.Frame{}
+}
+func (c *naiveClient) ReturnChild(w int, parent, child *sched.Frame, pnode *spt.Node) {}
+func (c *naiveClient) Steal(thief int, t *sched.Task) *sched.Frame {
+	return &sched.Frame{}
+}
+func (c *naiveClient) JoinComplete(w int, j *sched.Join) {}
+
+// naiveRel answers shadow queries through the locked structure.
+type naiveRel struct {
+	l   *core.LockedSPOrder
+	cur *spt.Node
+}
+
+func (r *naiveRel) precedesCurrent(u *spt.Node) bool { return r.l.Precedes(u, r.cur) }
+func (r *naiveRel) parallelCurrent(u *spt.Node) bool { return r.l.Parallel(u, r.cur) }
+
+func (c *naiveClient) ExecThread(w int, f *sched.Frame, leaf *spt.Node) {
+	// Expand the shared structure up to this thread (OM-INSERTs under
+	// the global lock).
+	c.l.EnsureVisited(leaf)
+	rel := &naiveRel{l: c.l, cur: leaf}
+	for _, st := range leaf.Steps {
+		switch st.Op {
+		case spt.Read, spt.Write:
+			c.accesses.Add(1)
+			cell := c.sh.cellFor(st.Loc)
+			lk := c.sh.lockLoc(st.Loc)
+			var q int64
+			r := onAccess(cell, rel, leaf, st.Op == spt.Write, &q)
+			lk.Unlock()
+			c.queries.Add(q)
+			if r != nil {
+				r.Loc = st.Loc
+				c.mu.Lock()
+				c.races = append(c.races, *r)
+				c.mu.Unlock()
+			}
+		}
+	}
+	if c.yield {
+		runtime.Gosched()
+	}
+}
+
+// DetectParallelNaive replays tree t under the work-stealing scheduler
+// with the globally locked SP-order structure of Section 3. The tree must
+// be canonical. Compare its lock-acquisition count and wall time against
+// DetectParallel's to reproduce the paper's argument for the two-tier
+// design.
+func DetectParallelNaive(t *spt.Tree, workers int, seed int64, yield bool) NaiveReport {
+	c := &naiveClient{
+		l:     core.NewLockedSPOrder(t),
+		sh:    newShadow(),
+		yield: yield,
+	}
+	s := sched.New(workers, c, seed)
+	st := s.Run(t)
+	rep := buildReport(c.races, c.accesses.Load(), c.queries.Load())
+	return NaiveReport{Report: rep, Sched: st, LockAcquisitions: c.l.LockAcquisitions}
+}
+
+var _ sched.Client = (*naiveClient)(nil)

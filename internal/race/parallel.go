@@ -1,0 +1,69 @@
+package race
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sphybrid"
+	"repro/internal/spt"
+)
+
+// hybridRel adapts SP-hybrid queries against a fixed current thread. In
+// the parallel detector the "current" thread is always the one executing
+// on the calling worker, satisfying Theorem 9's precondition.
+type hybridRel struct {
+	h   *sphybrid.SPHybrid
+	cur *spt.Node
+}
+
+func (r *hybridRel) precedesCurrent(u *spt.Node) bool { return r.h.Precedes(u, r.cur) }
+func (r *hybridRel) parallelCurrent(u *spt.Node) bool { return r.h.Parallel(u, r.cur) }
+
+// ParallelReport extends Report with the SP-hybrid run statistics.
+type ParallelReport struct {
+	Report
+	Stats sphybrid.Stats
+}
+
+// DetectParallel replays tree t under the work-stealing scheduler on the
+// given number of workers, with SP-hybrid maintaining SP relationships
+// and a lock-striped shadow memory applying the Nondeterminator protocol.
+// The tree must be canonical (spt.Canonicalize arbitrary trees first and
+// detect on the canonical copy). yield inserts a scheduling yield after
+// every thread, which single-CPU hosts need to exhibit steals.
+func DetectParallel(t *spt.Tree, workers int, seed int64, yield bool) ParallelReport {
+	sh := newShadow()
+	var mu sync.Mutex
+	var races []Race
+	var accesses, queries int64
+
+	var h *sphybrid.SPHybrid
+	h = sphybrid.New(t, func(w int, u *spt.Node) {
+		rel := &hybridRel{h: h, cur: u}
+		for _, st := range u.Steps {
+			switch st.Op {
+			case spt.Read, spt.Write:
+				atomic.AddInt64(&accesses, 1)
+				c := sh.cellFor(st.Loc)
+				lk := sh.lockLoc(st.Loc)
+				var q int64
+				r := onAccess(c, rel, u, st.Op == spt.Write, &q)
+				lk.Unlock()
+				atomic.AddInt64(&queries, q)
+				if r != nil {
+					r.Loc = st.Loc
+					mu.Lock()
+					races = append(races, *r)
+					mu.Unlock()
+				}
+			}
+		}
+		if yield {
+			runtime.Gosched()
+		}
+	})
+	stats := h.Run(workers, seed)
+	rep := buildReport(races, accesses, queries)
+	return ParallelReport{Report: rep, Stats: stats}
+}

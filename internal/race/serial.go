@@ -1,0 +1,194 @@
+package race
+
+import (
+	"repro/internal/core"
+	"repro/internal/labels"
+	"repro/internal/spt"
+)
+
+// Backend selects the SP-maintenance algorithm backing a serial detection
+// run — the four rows of Figure 3.
+type Backend uint8
+
+const (
+	// SPOrder uses the paper's O(1)-per-op order-maintenance algorithm;
+	// with it the detector runs in O(T1) total (Corollary 6).
+	SPOrder Backend = iota
+	// SPBags uses Feng–Leiserson disjoint sets, O(α) amortized per op.
+	SPBags
+	// EnglishHebrew uses static Nudler–Rudolph labels (query cost grows
+	// with fork nesting).
+	EnglishHebrew
+	// OffsetSpan uses static Mellor-Crummey labels (query cost grows
+	// with the depth of nested parallelism).
+	OffsetSpan
+)
+
+// String names the backend as in Figure 3.
+func (b Backend) String() string {
+	switch b {
+	case SPOrder:
+		return "SP-Order"
+	case SPBags:
+		return "SP-Bags"
+	case EnglishHebrew:
+		return "English-Hebrew"
+	case OffsetSpan:
+		return "Offset-Span"
+	default:
+		return "unknown"
+	}
+}
+
+// querierRel adapts a full Querier (SP-order, labelers) to the
+// current-thread interface used by the shadow protocol.
+type querierRel struct {
+	precedes func(u, v *spt.Node) bool
+	parallel func(u, v *spt.Node) bool
+	cur      *spt.Node
+}
+
+func (q *querierRel) precedesCurrent(u *spt.Node) bool { return q.precedes(u, q.cur) }
+func (q *querierRel) parallelCurrent(u *spt.Node) bool { return q.parallel(u, q.cur) }
+
+// bagsRel adapts SP-bags.
+type bagsRel struct{ b *core.SPBags }
+
+func (r bagsRel) precedesCurrent(u *spt.Node) bool { return r.b.PrecedesCurrent(u) }
+func (r bagsRel) parallelCurrent(u *spt.Node) bool { return r.b.ParallelCurrent(u) }
+
+// DetectSerial replays tree t serially (left-to-right) with the chosen
+// backend and reports every determinacy race the Nondeterminator protocol
+// detects. The SPBags backend requires a canonical tree and canonicalizes
+// internally when needed (remapping thread identities transparently).
+func DetectSerial(t *spt.Tree, backend Backend) Report {
+	switch backend {
+	case SPBags:
+		return detectSPBags(t)
+	case SPOrder:
+		sp := core.NewSPOrder(t)
+		rel := &querierRel{precedes: sp.Precedes, parallel: sp.Parallel}
+		return detectWithWalk(t, rel, func(exec core.ThreadFunc) { sp.Run(exec) })
+	case EnglishHebrew:
+		eh := labels.LabelEnglishHebrew(t)
+		rel := &querierRel{precedes: eh.Precedes, parallel: eh.Parallel}
+		return detectWithWalk(t, rel, func(exec core.ThreadFunc) {
+			core.SerialWalk(t, nil, exec)
+		})
+	case OffsetSpan:
+		os := labels.LabelOffsetSpan(t)
+		rel := &querierRel{precedes: os.Precedes, parallel: os.Parallel}
+		return detectWithWalk(t, rel, func(exec core.ThreadFunc) {
+			core.SerialWalk(t, nil, exec)
+		})
+	default:
+		panic("race: unknown backend")
+	}
+}
+
+// detectWithWalk drives a full-querier backend through the serial walk.
+func detectWithWalk(t *spt.Tree, rel *querierRel, run func(core.ThreadFunc)) Report {
+	sh := newShadow()
+	var races []Race
+	var accesses, queries int64
+	run(func(u *spt.Node) {
+		rel.cur = u
+		for _, st := range u.Steps {
+			switch st.Op {
+			case spt.Read, spt.Write:
+				accesses++
+				c := sh.cellFor(st.Loc)
+				if r := onAccess(c, rel, u, st.Op == spt.Write, &queries); r != nil {
+					r.Loc = st.Loc
+					races = append(races, *r)
+				}
+			}
+		}
+	})
+	return buildReport(races, accesses, queries)
+}
+
+// detectSPBags canonicalizes, runs SP-bags, and reports races in terms of
+// the ORIGINAL tree's threads.
+func detectSPBags(t *spt.Tree) Report {
+	canon := t
+	reverse := map[*spt.Node]*spt.Node{}
+	if !spt.IsCanonical(t) {
+		var fwd map[int]*spt.Node
+		canon, fwd = spt.Canonicalize(t)
+		for origID, copyNode := range fwd {
+			reverse[copyNode] = t.Node(origID)
+		}
+	}
+	b := core.NewSPBags(canon)
+	sh := newShadow()
+	var races []Race
+	var accesses, queries int64
+	rel := bagsRel{b}
+	b.Run(func(u *spt.Node) {
+		for _, st := range u.Steps {
+			switch st.Op {
+			case spt.Read, spt.Write:
+				accesses++
+				c := sh.cellFor(st.Loc)
+				if r := onAccess(c, rel, u, st.Op == spt.Write, &queries); r != nil {
+					r.Loc = st.Loc
+					races = append(races, *r)
+				}
+			}
+		}
+	})
+	// Remap to original threads where a mapping exists.
+	if len(reverse) > 0 {
+		for i := range races {
+			if o := reverse[races[i].First]; o != nil {
+				races[i].First = o
+			}
+			if o := reverse[races[i].Second]; o != nil {
+				races[i].Second = o
+			}
+		}
+	}
+	return buildReport(races, accesses, queries)
+}
+
+// FullHistory is the exhaustive ground-truth checker: it records every
+// access to every location and reports a race for each parallel
+// conflicting pair (quadratic; tests only). Ground truth uses the LCA
+// oracle directly.
+func FullHistory(t *spt.Tree) Report {
+	o := spt.NewOracle(t)
+	type access struct {
+		u     *spt.Node
+		write bool
+	}
+	hist := map[int][]access{}
+	var races []Race
+	var accesses int64
+	core.SerialWalk(t, nil, func(u *spt.Node) {
+		for _, st := range u.Steps {
+			switch st.Op {
+			case spt.Read, spt.Write:
+				accesses++
+				w := st.Op == spt.Write
+				for _, a := range hist[st.Loc] {
+					if !(w || a.write) || a.u == u {
+						continue
+					}
+					if o.Relate(a.u, u) == spt.Parallel {
+						kind := WriteWrite
+						switch {
+						case a.write && !w:
+							kind = WriteRead
+						case !a.write && w:
+							kind = ReadWrite
+						}
+						races = append(races, Race{Loc: st.Loc, Kind: kind, First: a.u, Second: u})
+					}
+				}
+				hist[st.Loc] = append(hist[st.Loc], access{u, w})
+			}
+		}
+	})
+	return buildReport(races, accesses, 0)
+}

@@ -1,0 +1,377 @@
+// Package sched implements a Cilk-style randomized work-stealing scheduler
+// for fork-join computations expressed as canonical SP parse trees. It is
+// the substrate on which SP-hybrid (Bender et al., SPAA 2004, Sections
+// 3–7) is defined, and it preserves the two scheduler properties the
+// paper's correctness and performance arguments rely on:
+//
+//  1. any single worker unfolds the parse tree left to right, and
+//  2. thieves steal from the top of a victim's deque, so the work stolen
+//     is always the right subtree of the P-node highest in the victim's
+//     portion of the parse tree (continuation stealing).
+//
+// The scheduler executes one "spawn" per P-node: the worker pushes the
+// continuation (the P-node's right subtree, followed by the join and the
+// rest of the enclosing procedure) onto the bottom of its deque and dives
+// into the left subtree as a child procedure frame. On returning, it pops
+// the bottom of its deque: success means no steal occurred (the Cilk
+// SYNCHED() fast path) and the worker resumes its own continuation;
+// failure means the continuation was stolen and the join will be resumed
+// by the last arriving worker.
+//
+// A Client receives callbacks at every structurally interesting point
+// (thread execution, spawn, child return, steal, join completion), which
+// is exactly the hook set SP-hybrid needs: the steal callback runs while
+// the victim's deque lock is held, making the trace SPLIT atomic with the
+// steal itself.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/spt"
+)
+
+// Frame is one procedure activation of the tree walk: created for the
+// computation's root, at every P-node's left-child dive (a spawn), and for
+// every stolen continuation (on the thief). Data carries the client's
+// payload (SP-hybrid stores the frame's bags and trace there). The openP
+// counter tracks how many of the frame's P-nodes are currently open; it is
+// mutated only by the single worker executing the frame's code at any
+// moment.
+type Frame struct {
+	// Data is the client's payload; the scheduler never touches it.
+	Data any
+	// OpenP counts open (spawned, not yet joined) P-nodes of this frame.
+	OpenP int
+}
+
+// Join is the join point of one P-node. Pending counts unarrived sides
+// (left = spawned child, right = continuation); the last arrival resumes
+// the post-join continuation. Stolen is set, under the victim's deque
+// lock, when the right-side task is stolen. Data carries client payload
+// published by the Steal callback (SP-hybrid stores the post-join trace
+// there) and read by the last arriver.
+type Join struct {
+	pending atomic.Int32
+	// Stolen reports whether this join's continuation task was stolen.
+	Stolen atomic.Bool
+	// Data is client payload set during Steal, read at JoinComplete.
+	Data any
+
+	pnode *spt.Node
+	frame *Frame
+	cont  *cont
+}
+
+// PNode returns the P-node this join belongs to.
+func (j *Join) PNode() *spt.Node { return j.pnode }
+
+// Frame returns the frame whose code contains the P-node.
+func (j *Join) Frame() *Frame { return j.frame }
+
+// Task is a stealable continuation: walk node (the right subtree of
+// join.pnode) in the frame that owned the P-node, then arrive at the join.
+type Task struct {
+	node  *spt.Node
+	join  *Join
+	frame *Frame // the victim frame (used when popped back, not stolen)
+	// execFrame is set by the scheduler after a steal, from the client's
+	// Steal callback; nil means not stolen.
+	execFrame *Frame
+}
+
+// Node returns the subtree the task walks (right child of the P-node).
+func (t *Task) Node() *spt.Node { return t.node }
+
+// Join returns the task's join.
+func (t *Task) Join() *Join { return t.join }
+
+// Frame returns the frame that pushed the task (the victim's frame).
+func (t *Task) Frame() *Frame { return t.frame }
+
+// Client receives the scheduler's structural callbacks. All callbacks for
+// a given frame are serialized by the scheduler (a frame's code runs on
+// one worker at a time); Steal is additionally serialized with the
+// victim's pop by the deque lock.
+type Client interface {
+	// RootFrame creates the frame for the computation's root, executed
+	// by worker 0.
+	RootFrame() *Frame
+	// SpawnChild creates the frame for pnode's left subtree, which the
+	// current worker dives into.
+	SpawnChild(worker int, parent *Frame, pnode *spt.Node) *Frame
+	// ExecThread executes a leaf in the given frame on the given worker.
+	ExecThread(worker int, f *Frame, leaf *spt.Node)
+	// ReturnChild fires when a spawned child's walk completes and its
+	// continuation was NOT stolen (the SYNCHED fast path); the child's
+	// threads merge into the parent (SP-bags child return).
+	ReturnChild(worker int, parent, child *Frame, pnode *spt.Node)
+	// Steal fires when a thief takes task t, while the victim's deque
+	// lock is held (so it is atomic with respect to the victim's pops).
+	// It must return the frame in which the thief walks t.Node(). This
+	// is where SP-hybrid performs its trace split and global-tier
+	// insertions (lines 19–24 of Figure 8).
+	Steal(thief int, t *Task) *Frame
+	// JoinComplete fires on the last arrival at a join, before the
+	// post-join continuation runs; stolen joins switch the frame to its
+	// post-join trace here. It runs under the join's mutex.
+	JoinComplete(worker int, j *Join)
+}
+
+// cont is the continuation chain of the tree walk.
+type cont struct {
+	// If seqRight != nil: walk seqRight in seqFrame, then next.
+	seqRight *spt.Node
+	seqFrame *Frame
+	next     *cont
+	// Else: arrive at join (childFrame != nil marks the left/child
+	// side arrival and carries the completed child's frame).
+	join       *Join
+	childFrame *Frame
+}
+
+// Stats aggregates scheduler counters for the Theorem 10 benchmarks.
+type Stats struct {
+	// Steals is the number of successful steals (the s of Section 7;
+	// the paper bounds E[s] = O(P·T∞·lg n) for SP-hybrid).
+	Steals int64
+	// StealAttempts counts all steal attempts, successful or not
+	// (buckets B6/B7).
+	StealAttempts int64
+	// FailedSteals counts attempts that found an empty or busy victim.
+	FailedSteals int64
+	// ThreadsExecuted counts leaf executions.
+	ThreadsExecuted int64
+}
+
+// Scheduler runs canonical SP parse trees over P workers.
+type Scheduler struct {
+	workers int
+	client  Client
+	seed    int64
+
+	deques []*deque
+	done   chan struct{}
+	once   sync.Once
+
+	steals          atomic.Int64
+	stealAttempts   atomic.Int64
+	failedSteals    atomic.Int64
+	threadsExecuted atomic.Int64
+}
+
+// deque is a worker's double-ended queue of stealable tasks: the owner
+// pushes and pops at the bottom, thieves steal from the top. A small
+// mutex suffices here; contention on it is part of what the benchmarks
+// measure.
+type deque struct {
+	mu    sync.Mutex
+	tasks []*Task
+}
+
+// New creates a scheduler with the given number of workers (≥ 1). The
+// seed drives victim selection; a fixed seed gives reproducible steal
+// patterns on a quiet machine (exact schedules still vary with timing).
+func New(workers int, client Client, seed int64) *Scheduler {
+	if workers < 1 {
+		panic("sched: need at least one worker")
+	}
+	s := &Scheduler{workers: workers, client: client, seed: seed}
+	return s
+}
+
+// Run executes the tree to completion and returns the run's counters.
+// The tree must be a canonical Cilk parse tree (spt.IsCanonical).
+func (s *Scheduler) Run(t *spt.Tree) Stats {
+	if !spt.IsCanonical(t) {
+		panic("sched: tree is not a canonical Cilk parse tree; apply spt.Canonicalize")
+	}
+	s.deques = make([]*deque, s.workers)
+	for i := range s.deques {
+		s.deques[i] = &deque{}
+	}
+	s.done = make(chan struct{})
+	s.once = sync.Once{}
+
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.worker(w, t)
+		}(w)
+	}
+	wg.Wait()
+	return Stats{
+		Steals:          s.steals.Load(),
+		StealAttempts:   s.stealAttempts.Load(),
+		FailedSteals:    s.failedSteals.Load(),
+		ThreadsExecuted: s.threadsExecuted.Load(),
+	}
+}
+
+func (s *Scheduler) finish() { s.once.Do(func() { close(s.done) }) }
+
+func (s *Scheduler) isDone() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// worker is the main loop: worker 0 starts the root computation; everyone
+// steals until the computation completes.
+func (s *Scheduler) worker(w int, t *spt.Tree) {
+	rng := rand.New(rand.NewSource(s.seed + int64(w)*7919))
+	if w == 0 {
+		root := s.client.RootFrame()
+		s.run(w, t.Root(), root, nil)
+	}
+	for !s.isDone() {
+		task := s.trySteal(w, rng)
+		if task == nil {
+			runtime.Gosched()
+			continue
+		}
+		s.run(w, task.node, task.execFrame, &cont{join: task.join})
+	}
+}
+
+// trySteal picks a random victim and attempts to take the top of its
+// deque, invoking the client's Steal callback under the victim's lock.
+func (s *Scheduler) trySteal(w int, rng *rand.Rand) *Task {
+	if s.workers == 1 {
+		return nil
+	}
+	v := rng.Intn(s.workers)
+	if v == w {
+		return nil
+	}
+	s.stealAttempts.Add(1)
+	d := s.deques[v]
+	d.mu.Lock()
+	if len(d.tasks) == 0 {
+		d.mu.Unlock()
+		s.failedSteals.Add(1)
+		return nil
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	// Mark stolen and run the client's split while still holding the
+	// victim's deque lock: the victim's next pop (and hence any of its
+	// bag operations on the affected frame) is ordered after the split.
+	t.join.Stolen.Store(true)
+	t.execFrame = s.client.Steal(w, t)
+	d.mu.Unlock()
+	s.steals.Add(1)
+	return t
+}
+
+// pushBottom and popBottom implement the owner side of the deque.
+func (s *Scheduler) pushBottom(w int, t *Task) {
+	d := s.deques[w]
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+// popBottomIf pops the bottom task only if it belongs to join j. A worker
+// may abandon a subtree (after an inner steal) leaving older tasks in its
+// deque, and a migrated arrival pops a deque that never held j's task at
+// all — in both cases the bottom does not match and the task must stay
+// where it is for a thief to find.
+func (s *Scheduler) popBottomIf(w int, j *Join) *Task {
+	d := s.deques[w]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil
+	}
+	t := d.tasks[len(d.tasks)-1]
+	if t.join != j {
+		return nil
+	}
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	return t
+}
+
+// run walks subtree `node` in `frame`, then continues with k. It returns
+// when the worker runs out of inline work (either the computation ended
+// or an unfinished join absorbed the continuation).
+func (s *Scheduler) run(w int, node *spt.Node, frame *Frame, k *cont) {
+	for {
+		// Descend the subtree, turning S-nodes into sequential
+		// continuations and P-nodes into spawns.
+	descend:
+		for {
+			switch node.Kind() {
+			case spt.Leaf:
+				s.threadsExecuted.Add(1)
+				s.client.ExecThread(w, frame, node)
+			case spt.SNode:
+				k = &cont{seqRight: node.Right(), seqFrame: frame, next: k}
+				node = node.Left()
+				continue
+			default: // PNode: spawn
+				j := &Join{pnode: node, frame: frame, cont: k}
+				j.pending.Store(2)
+				frame.OpenP++
+				task := &Task{node: node.Right(), join: j, frame: frame}
+				s.pushBottom(w, task)
+				child := s.client.SpawnChild(w, frame, node)
+				k = &cont{join: j, childFrame: child}
+				node, frame = node.Left(), child
+				continue
+			}
+			break descend
+		}
+		// Subtree finished; unwind the continuation chain.
+		for {
+			if k == nil {
+				// The root computation is complete.
+				s.finish()
+				return
+			}
+			if k.seqRight != nil {
+				node, frame = k.seqRight, k.seqFrame
+				k = k.next
+				break // descend into the sequence's right subtree
+			}
+			j := k.join
+			if k.childFrame != nil {
+				// Left (spawned child) arrival: the Cilk
+				// SYNCHED check is popping our own deque.
+				if t := s.popBottomIf(w, j); t != nil {
+					// Fast path: no steal. Child returns,
+					// then run the continuation inline.
+					s.client.ReturnChild(w, j.frame, k.childFrame, j.pnode)
+					j.pending.Add(-1)
+					node, frame = t.node, t.frame
+					k = &cont{join: j}
+					break // descend into the right subtree
+				}
+				// The continuation was stolen; this join will
+				// be resumed by the last arriver.
+				if !j.Stolen.Load() {
+					panic(fmt.Sprintf("sched: pop failed but join of %v not marked stolen", j.pnode))
+				}
+			}
+			// Arrive at the join (either side).
+			if j.pending.Add(-1) > 0 {
+				// Not the last: abandon and go steal.
+				return
+			}
+			// Last arrival resumes the post-join continuation and
+			// keeps unwinding from there.
+			j.frame.OpenP--
+			s.client.JoinComplete(w, j)
+			k = j.cont
+		}
+	}
+}

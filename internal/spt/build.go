@@ -1,0 +1,153 @@
+package spt
+
+import "fmt"
+
+// Seq composes the given subtrees in series, left to right, producing a
+// right-leaning chain of S-nodes. It panics if no subtrees are given; a
+// single subtree is returned unchanged.
+func Seq(nodes ...*Node) *Node {
+	if len(nodes) == 0 {
+		panic("spt: Seq of zero nodes")
+	}
+	n := nodes[len(nodes)-1]
+	for i := len(nodes) - 2; i >= 0; i-- {
+		n = NewS(nodes[i], n)
+	}
+	return n
+}
+
+// Par composes the given subtrees in parallel, producing a right-leaning
+// chain of P-nodes. It panics if no subtrees are given; a single subtree is
+// returned unchanged.
+func Par(nodes ...*Node) *Node {
+	if len(nodes) == 0 {
+		panic("spt: Par of zero nodes")
+	}
+	n := nodes[len(nodes)-1]
+	for i := len(nodes) - 2; i >= 0; i-- {
+		n = NewP(nodes[i], n)
+	}
+	return n
+}
+
+// Proc describes a Cilk procedure for the canonical parse tree of
+// Figure 10: a sequence of sync blocks executed in series.
+type Proc struct {
+	// Name labels the procedure's threads ("fib(3)").
+	Name string
+	// Blocks are the procedure's sync blocks, in series.
+	Blocks []SyncBlock
+}
+
+// SyncBlock is one sync block of a Cilk procedure: a sequence of
+// (thread, spawn) pairs followed by a final thread and an implicit sync
+// that joins all the spawned children. Stmts alternate serial threads and
+// spawned procedures; the block's shape in the canonical tree is
+//
+//	S(u0, P(F1, S(u1, P(F2, ... S(uk-1, P(Fk, uk)) ...))))
+//
+// following Figure 10 (threads between spawns, all children joining at the
+// block's single sync).
+type SyncBlock struct {
+	Stmts []Stmt
+}
+
+// Stmt is either a serial thread (Thread != nil) or a spawned procedure
+// (Spawn != nil). Exactly one of the fields must be set.
+type Stmt struct {
+	Thread *Node
+	Spawn  *Proc
+}
+
+// ThreadStmt returns a Stmt executing a fresh leaf of the given cost.
+func ThreadStmt(label string, cost int64) Stmt {
+	return Stmt{Thread: NewLeaf(label, cost)}
+}
+
+// SpawnStmt returns a Stmt spawning the given procedure.
+func SpawnStmt(p *Proc) Stmt { return Stmt{Spawn: p} }
+
+// Build converts the procedure into its canonical SP parse tree
+// (Figure 10). Empty threads (cost 0) are inserted where the canonical
+// form requires a thread but the program has none, mirroring footnote 6 of
+// the paper: any SP parse tree can be represented as a Cilk parse tree with
+// the same work and critical path by adding empty threads.
+func (p *Proc) Build() (*Node, error) {
+	if len(p.Blocks) == 0 {
+		return nil, fmt.Errorf("spt: procedure %q has no sync blocks", p.Name)
+	}
+	blocks := make([]*Node, 0, len(p.Blocks))
+	for bi := range p.Blocks {
+		b, err := p.buildBlock(bi)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, b)
+	}
+	return Seq(blocks...), nil
+}
+
+// buildBlock builds a single sync block as a right-leaning S/P spine.
+func (p *Proc) buildBlock(bi int) (*Node, error) {
+	stmts := p.Blocks[bi].Stmts
+	if len(stmts) == 0 {
+		// An empty sync block is a single empty thread.
+		return NewLeaf(fmt.Sprintf("%s.b%d.empty", p.Name, bi), 0), nil
+	}
+	// Process from the back: the running subtree is "the rest of the
+	// block". A trailing spawn gets an empty continuation thread.
+	var rest *Node
+	for i := len(stmts) - 1; i >= 0; i-- {
+		st := stmts[i]
+		switch {
+		case st.Thread != nil && st.Spawn != nil:
+			return nil, fmt.Errorf("spt: statement %d of %q block %d sets both Thread and Spawn", i, p.Name, bi)
+		case st.Thread != nil:
+			if rest == nil {
+				rest = st.Thread
+			} else {
+				rest = NewS(st.Thread, rest)
+			}
+		case st.Spawn != nil:
+			child, err := st.Spawn.Build()
+			if err != nil {
+				return nil, err
+			}
+			if rest == nil {
+				// spawn with no continuation: join against an
+				// empty thread so the P-node is full binary.
+				rest = NewLeaf(fmt.Sprintf("%s.b%d.post", p.Name, bi), 0)
+			}
+			rest = NewP(child, rest)
+		default:
+			return nil, fmt.Errorf("spt: empty statement %d in %q block %d", i, p.Name, bi)
+		}
+	}
+	return rest, nil
+}
+
+// PaperExample returns the parse tree of Figure 2 (for the dag of
+// Figure 1), with threads labeled u0..u8 and unit costs. The structure is
+// reconstructed from the label values the paper quotes for Figure 4:
+// E[u1]=1, E[u4]=4, E[u6]=6, H[u1]=5, H[u4]=8, H[u6]=3 (0-based), which
+// pins the tree to
+//
+//	S(u0, P1( S1(u1, S(P(u2,u3), u4)),  S(u5, S(P(u6,u7), u8)) ))
+//
+// i.e. the dag executes u0, forks two branches, each of which runs a
+// thread, forks a nested pair, joins, runs a final thread, and the two
+// branches join at the end. This realizes the relations in Section 1:
+// u1 ≺ u4 with lca S1 an S-node, and u1 ∥ u6 with lca P1 a P-node, and its
+// English ordering is u0,u1,...,u8 ("a serial execution executes the
+// threads in the order of their indices") while its Hebrew ordering is
+// u0,u5,u7,u6,u8,u1,u3,u2,u4.
+func PaperExample() *Tree {
+	u := make([]*Node, 9)
+	for i := range u {
+		u[i] = NewLeaf(fmt.Sprintf("u%d", i), 1)
+	}
+	left := NewS(u[1], NewS(NewP(u[2], u[3]), u[4]))  // S1 branch
+	right := NewS(u[5], NewS(NewP(u[6], u[7]), u[8])) // second branch
+	root := NewS(u[0], NewP(left, right))             // u0 then P1
+	return MustTree(root)
+}

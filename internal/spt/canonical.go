@@ -1,0 +1,120 @@
+package spt
+
+import "fmt"
+
+// The SP-bags algorithm (and therefore SP-hybrid's local tier) is defined
+// over canonical Cilk parse trees (Figure 10): within one procedure, all
+// outstanding spawned children join at a single sync, so no thread of the
+// procedure executes between an inner P-node's join and an enclosing
+// P-node's join. Footnote 6 of the paper observes that any SP parse tree
+// can be represented as a Cilk parse tree with the same work and critical
+// path by adding extra S- and P-nodes and empty threads; Canonicalize
+// implements that transformation.
+
+// IsCanonical reports whether t has the canonical Cilk shape required by
+// SP-bags: simulating the procedure-frame walk (a new frame per P-node
+// left child), no leaf may execute in a frame after one of the frame's
+// P-nodes has joined while another remains open.
+func IsCanonical(t *Tree) bool {
+	type frame struct {
+		openP        int
+		pendingInner bool // joined an inner P-node since the last sync
+	}
+	ok := true
+	var walk func(n *Node, f *frame)
+	walk = func(n *Node, f *frame) {
+		if !ok {
+			return
+		}
+		switch n.Kind() {
+		case Leaf:
+			if f.pendingInner {
+				ok = false
+			}
+		case SNode:
+			walk(n.Left(), f)
+			walk(n.Right(), f)
+		default: // PNode
+			f.openP++
+			walk(n.Left(), &frame{}) // spawned child: fresh frame
+			walk(n.Right(), f)
+			f.openP--
+			if f.openP > 0 {
+				f.pendingInner = true
+			} else {
+				f.pendingInner = false // sync
+			}
+		}
+	}
+	walk(t.Root(), &frame{})
+	return ok
+}
+
+// Canonicalize rewrites t into an equivalent canonical Cilk parse tree:
+// the SP relations between the original threads (matched by identity of
+// their copied labels/steps) are preserved, and the transformation only
+// adds empty (zero-cost) threads, so work and critical path are unchanged.
+//
+// The rewrite maps every P-node to a sync block that spawns both subtrees
+// as child procedures and immediately syncs; S-nodes concatenate the
+// statement sequences of their subtrees. The result contains a copy of
+// each original leaf (same label, cost, and steps); CanonicalizeMap is
+// also returned, mapping original leaf ID to its copy in the new tree.
+func Canonicalize(t *Tree) (*Tree, map[int]*Node) {
+	copies := make(map[int]*Node)
+
+	// item is a statement or a sync marker in a procedure body.
+	type item struct {
+		stmt Stmt
+		sync bool
+	}
+	var procOf func(n *Node, name string) *Proc
+	var build func(n *Node, name string) []item
+	build = func(n *Node, name string) []item {
+		switch n.Kind() {
+		case Leaf:
+			cp := NewLeaf(n.Label, n.Cost)
+			cp.Steps = n.Steps
+			copies[n.ID] = cp
+			return []item{{stmt: Stmt{Thread: cp}}}
+		case SNode:
+			return append(build(n.Left(), name+"l"), build(n.Right(), name+"r")...)
+		default: // PNode
+			return []item{
+				{stmt: SpawnStmt(procOf(n.Left(), name+"L"))},
+				{stmt: SpawnStmt(procOf(n.Right(), name+"R"))},
+				{sync: true},
+			}
+		}
+	}
+	procOf = func(n *Node, name string) *Proc {
+		items := build(n, name)
+		p := &Proc{Name: name}
+		var cur []Stmt
+		flush := func() {
+			if len(cur) > 0 {
+				p.Blocks = append(p.Blocks, SyncBlock{Stmts: cur})
+				cur = nil
+			}
+		}
+		for _, it := range items {
+			if it.sync {
+				// A sync closes the current block even if empty
+				// statements precede it (the spawns are in cur).
+				flush()
+				continue
+			}
+			cur = append(cur, it.stmt)
+		}
+		flush()
+		if len(p.Blocks) == 0 {
+			p.Blocks = []SyncBlock{{Stmts: []Stmt{ThreadStmt(name+".empty", 0)}}}
+		}
+		return p
+	}
+	root, err := procOf(t.Root(), "c").Build()
+	if err != nil {
+		panic(fmt.Sprintf("spt: canonicalize failed: %v", err))
+	}
+	return MustTree(root), copies
+}

@@ -1,0 +1,122 @@
+package spt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsCanonicalShapes(t *testing.T) {
+	a := func() *Node { return NewLeaf("a", 1) }
+	cases := []struct {
+		name string
+		tree *Tree
+		want bool
+	}{
+		{"single leaf", MustTree(a()), true},
+		{"serial chain", DeepChain(8, 1), true},
+		{"wide fan", WideFan(8, 1), true},
+		{"balanced P", BalancedPTree(3, 1), true},
+		{"fib", FibTree(6, 1), true},
+		{"sync blocks", SyncBlockChain(2, 3, 1), true},
+		// The paper's Figure 2 tree runs its second fork branch as the
+		// continuation of the procedure (P1's right child); expressed
+		// as a Cilk program that branch must be its own spawned child,
+		// so the raw tree is not frame-canonical until Canonicalize
+		// rewrites it.
+		{"paper example", PaperExample(), false},
+		// The breaking shape: P(A, S(P(C,D), E)) — thread E executes
+		// in the same frame after the inner join with the outer
+		// P-node still open.
+		{"non-canonical", MustTree(NewP(a(), NewS(NewP(a(), a()), a()))), false},
+	}
+	for _, tc := range cases {
+		if got := IsCanonical(tc.tree); got != tc.want {
+			t.Errorf("%s: IsCanonical = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCanonicalizePreservesRelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		cfg := DefaultGenConfig(2 + rng.Intn(40))
+		cfg.PProb = []float64{0.2, 0.5, 0.8}[trial%3]
+		tr := Generate(cfg, rng)
+		canon, m := Canonicalize(tr)
+		if !IsCanonical(canon) {
+			t.Fatalf("trial %d: canonicalized tree is not canonical", trial)
+		}
+		orig := NewOracle(tr)
+		rec := NewOracle(canon)
+		threads := tr.Threads()
+		for _, u := range threads {
+			for _, v := range threads {
+				if u == v {
+					continue
+				}
+				cu, cv := m[u.ID], m[v.ID]
+				if cu == nil || cv == nil {
+					t.Fatalf("trial %d: missing copy for %s or %s", trial, u, v)
+				}
+				if got, want := rec.Relate(cu, cv), orig.Relate(u, v); got != want {
+					t.Fatalf("trial %d: relation (%s,%s) changed %v -> %v", trial, u, v, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestCanonicalizePreservesWorkAndSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		tr := Generate(DefaultGenConfig(2+rng.Intn(50)), rng)
+		canon, _ := Canonicalize(tr)
+		if tr.Work() != canon.Work() {
+			t.Fatalf("work changed: %d -> %d", tr.Work(), canon.Work())
+		}
+		if tr.Span() != canon.Span() {
+			t.Fatalf("span changed: %d -> %d", tr.Span(), canon.Span())
+		}
+	}
+}
+
+func TestCanonicalizeIdempotentShape(t *testing.T) {
+	tr := MustTree(NewP(NewLeaf("a", 1), NewS(NewP(NewLeaf("c", 1), NewLeaf("d", 1)), NewLeaf("e", 1))))
+	if IsCanonical(tr) {
+		t.Fatal("test tree should be non-canonical")
+	}
+	canon, _ := Canonicalize(tr)
+	if !IsCanonical(canon) {
+		t.Fatal("canonicalize must produce a canonical tree")
+	}
+	again, _ := Canonicalize(canon)
+	if !IsCanonical(again) {
+		t.Fatal("canonicalize must be stable")
+	}
+}
+
+func TestCanonicalizeLeafTree(t *testing.T) {
+	tr := MustTree(NewLeaf("only", 5))
+	canon, m := Canonicalize(tr)
+	if canon.Work() != 5 {
+		t.Fatalf("work = %d, want 5", canon.Work())
+	}
+	if m[tr.Root().ID] == nil {
+		t.Fatal("leaf copy missing")
+	}
+}
+
+func TestQuickCanonicalizeAlwaysCanonical(t *testing.T) {
+	f := func(seed int64, n uint8, pp uint8) bool {
+		cfg := DefaultGenConfig(int(n)%60 + 1)
+		cfg.PProb = float64(pp%101) / 100
+		tr := Generate(cfg, rand.New(rand.NewSource(seed)))
+		canon, _ := Canonicalize(tr)
+		return IsCanonical(canon) &&
+			canon.Work() == tr.Work() && canon.Span() == tr.Span()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+package spt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VertexKind discriminates computation-dag vertices (Figure 1: diamonds
+// are forks, squares are joins).
+type VertexKind uint8
+
+const (
+	// Source is the dag's unique entry vertex.
+	Source VertexKind = iota
+	// Sink is the dag's unique exit vertex.
+	Sink
+	// Fork has one incoming edge and multiple outgoing edges.
+	Fork
+	// Join has multiple incoming edges and one outgoing edge.
+	Join
+)
+
+// String names the vertex kind.
+func (k VertexKind) String() string {
+	switch k {
+	case Source:
+		return "source"
+	case Sink:
+		return "sink"
+	case Fork:
+		return "fork"
+	case Join:
+		return "join"
+	default:
+		return fmt.Sprintf("VertexKind(%d)", uint8(k))
+	}
+}
+
+// Vertex is a fork or join point of a computation dag.
+type Vertex struct {
+	ID   int
+	Kind VertexKind
+	In   []*Edge
+	Out  []*Edge
+}
+
+// Edge is a thread of the computation dag: a block of serial execution
+// between two fork/join vertices. Thread points back at the parse-tree
+// leaf when the dag was derived from a tree.
+type Edge struct {
+	ID       int
+	From, To *Vertex
+	Label    string
+	Cost     int64
+	Thread   *Node
+}
+
+// Dag is a fork-join computation dag: a two-terminal series-parallel
+// directed acyclic graph whose edges are threads (Figure 1).
+type Dag struct {
+	Vertices []*Vertex
+	Edges    []*Edge
+	Src, Snk *Vertex
+}
+
+func (d *Dag) newVertex(k VertexKind) *Vertex {
+	v := &Vertex{ID: len(d.Vertices), Kind: k}
+	d.Vertices = append(d.Vertices, v)
+	return v
+}
+
+func (d *Dag) newEdge(from, to *Vertex, label string, cost int64, thread *Node) *Edge {
+	e := &Edge{ID: len(d.Edges), From: from, To: to, Label: label, Cost: cost, Thread: thread}
+	d.Edges = append(d.Edges, e)
+	from.Out = append(from.Out, e)
+	to.In = append(to.In, e)
+	return e
+}
+
+// ToDag converts the parse tree into its computation dag: leaves become
+// edges, S-nodes splice subgraphs in series, and P-nodes splice them in
+// parallel between a fork and a join vertex. The resulting dag has one
+// source and one sink.
+func (t *Tree) ToDag() *Dag {
+	d := &Dag{}
+	d.Src = d.newVertex(Source)
+	d.Snk = d.newVertex(Sink)
+	var build func(n *Node, from, to *Vertex)
+	build = func(n *Node, from, to *Vertex) {
+		switch n.kind {
+		case Leaf:
+			d.newEdge(from, to, n.Label, n.Cost, n)
+		case SNode:
+			mid := d.newVertex(Join) // series point: join of left, start of right
+			build(n.left, from, mid)
+			build(n.right, mid, to)
+		default: // PNode
+			f := d.newVertex(Fork)
+			j := d.newVertex(Join)
+			// Connect the fork/join pair into the enclosing graph
+			// with zero-cost connector edges so every P-node shows
+			// up as an explicit diamond/square pair, as in Figure 1.
+			d.newEdge(from, f, "", 0, nil)
+			build(n.left, f, j)
+			build(n.right, f, j)
+			d.newEdge(j, to, "", 0, nil)
+		}
+	}
+	build(t.root, d.Src, d.Snk)
+	return d
+}
+
+// ThreadEdges returns the dag's non-connector edges (the true threads) in
+// edge-creation order.
+func (d *Dag) ThreadEdges() []*Edge {
+	out := make([]*Edge, 0, len(d.Edges))
+	for _, e := range d.Edges {
+		if e.Thread != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CheckAcyclic verifies the dag has no cycles and that every vertex lies
+// on a source-to-sink path. It returns an error describing the first
+// violation found.
+func (d *Dag) CheckAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*Vertex]int, len(d.Vertices))
+	var visit func(v *Vertex) error
+	visit = func(v *Vertex) error {
+		color[v] = gray
+		for _, e := range v.Out {
+			switch color[e.To] {
+			case gray:
+				return fmt.Errorf("spt: cycle through vertex %d", e.To.ID)
+			case white:
+				if err := visit(e.To); err != nil {
+					return err
+				}
+			}
+		}
+		color[v] = black
+		return nil
+	}
+	if err := visit(d.Src); err != nil {
+		return err
+	}
+	for _, v := range d.Vertices {
+		if color[v] != black {
+			return fmt.Errorf("spt: vertex %d unreachable from source", v.ID)
+		}
+	}
+	return nil
+}
+
+// ToTree recognizes the dag as series-parallel and rebuilds an SP parse
+// tree, using the classic series/parallel reduction algorithm: repeatedly
+// (a) merge parallel edges between the same pair of vertices into a P-node
+// and (b) splice out degree-(1,1) intermediate vertices into S-nodes. If
+// the dag is not two-terminal series-parallel, it returns an error. The
+// reconstructed tree is semantically equivalent to the original (same SP
+// relations between threads) though not necessarily structurally identical
+// (associativity of S/P chains is not preserved).
+func (d *Dag) ToTree() (*Tree, error) {
+	// Work on a mutable multigraph of edge records carrying the parse
+	// subtree accumulated so far for that edge.
+	n := len(d.Vertices)
+	type redge struct {
+		from, to int
+		sub      *Node
+		dead     bool
+	}
+	var edges []*redge
+	for _, e := range d.Edges {
+		var sub *Node
+		if e.Thread != nil {
+			sub = NewLeaf(e.Thread.Label, e.Thread.Cost)
+			sub.Steps = e.Thread.Steps
+		} else {
+			sub = nil // connector edge: identity for series composition
+		}
+		edges = append(edges, &redge{from: e.From.ID, to: e.To.ID, sub: sub})
+	}
+	src, snk := d.Src.ID, d.Snk.ID
+
+	liveEdges := func() []*redge {
+		var out []*redge
+		for _, e := range edges {
+			if !e.dead {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	seqCompose := func(a, b *Node) *Node {
+		if a == nil {
+			return b
+		}
+		if b == nil {
+			return a
+		}
+		return NewS(a, b)
+	}
+	parCompose := func(a, b *Node) *Node {
+		if a == nil {
+			a = NewLeaf("", 0)
+		}
+		if b == nil {
+			b = NewLeaf("", 0)
+		}
+		return NewP(a, b)
+	}
+
+	for {
+		live := liveEdges()
+		if len(live) == 1 {
+			e := live[0]
+			if e.from != src || e.to != snk {
+				return nil, fmt.Errorf("spt: reduction ended with edge %d->%d, not source->sink", e.from, e.to)
+			}
+			sub := e.sub
+			if sub == nil {
+				sub = NewLeaf("", 0)
+			}
+			return NewTree(sub)
+		}
+		changed := false
+		// Parallel reduction: two live edges with identical endpoints.
+		type key struct{ f, t int }
+		byPair := make(map[key][]*redge)
+		for _, e := range live {
+			byPair[key{e.from, e.to}] = append(byPair[key{e.from, e.to}], e)
+		}
+		// Deterministic iteration order for reproducibility.
+		var keys []key
+		for k := range byPair {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].f != keys[j].f {
+				return keys[i].f < keys[j].f
+			}
+			return keys[i].t < keys[j].t
+		})
+		for _, k := range keys {
+			es := byPair[k]
+			for len(es) >= 2 {
+				a, b := es[0], es[1]
+				a.sub = parCompose(a.sub, b.sub)
+				b.dead = true
+				es = append([]*redge{a}, es[2:]...)
+				changed = true
+			}
+		}
+		if changed {
+			continue
+		}
+		// Series reduction: vertex v != src,snk with in-degree 1 and
+		// out-degree 1.
+		indeg := make(map[int][]*redge)
+		outdeg := make(map[int][]*redge)
+		for _, e := range liveEdges() {
+			indeg[e.to] = append(indeg[e.to], e)
+			outdeg[e.from] = append(outdeg[e.from], e)
+		}
+		for v := 0; v < n; v++ {
+			if v == src || v == snk {
+				continue
+			}
+			ins, outs := indeg[v], outdeg[v]
+			if len(ins) == 1 && len(outs) == 1 {
+				a, b := ins[0], outs[0]
+				if a == b { // self-loop; not SP
+					return nil, fmt.Errorf("spt: self-loop at vertex %d", v)
+				}
+				a.sub = seqCompose(a.sub, b.sub)
+				a.to = b.to
+				b.dead = true
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			return nil, fmt.Errorf("spt: dag is not series-parallel (no reduction applies, %d live edges)", len(liveEdges()))
+		}
+	}
+}
+
+// Format renders the dag as an adjacency listing for cmd/spviz.
+func (d *Dag) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dag: %d vertices, %d edges (%d threads)\n", len(d.Vertices), len(d.Edges), len(d.ThreadEdges()))
+	for _, v := range d.Vertices {
+		fmt.Fprintf(&b, "  v%d [%s]:", v.ID, v.Kind)
+		for _, e := range v.Out {
+			name := e.Label
+			if name == "" {
+				name = "·"
+			}
+			fmt.Fprintf(&b, " -%s-> v%d", name, e.To.ID)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package spt
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterizes the random SP-program generator. The zero value
+// is not useful; start from DefaultGenConfig.
+type GenConfig struct {
+	// Threads is the target number of leaves. The generated tree has
+	// exactly this many threads.
+	Threads int
+	// PProb is the probability that an internal node is a P-node rather
+	// than an S-node (0..1).
+	PProb float64
+	// MinCost and MaxCost bound the per-thread synthetic cost
+	// (inclusive). Costs are drawn uniformly.
+	MinCost, MaxCost int64
+	// Skew biases tree shape: 0.5 splits leaf budgets evenly in
+	// expectation (bushy trees); values near 0 or 1 produce deep,
+	// chain-like trees. Must lie in (0,1).
+	Skew float64
+	// Steps, if positive, attaches that many random memory-access steps
+	// to every thread, drawn over Locations shared locations.
+	Steps     int
+	Locations int
+	// WriteFrac is the fraction of generated steps that are writes.
+	WriteFrac float64
+}
+
+// DefaultGenConfig returns a balanced mixed-workload configuration.
+func DefaultGenConfig(threads int) GenConfig {
+	return GenConfig{
+		Threads:   threads,
+		PProb:     0.5,
+		MinCost:   1,
+		MaxCost:   8,
+		Skew:      0.5,
+		Steps:     0,
+		Locations: 64,
+		WriteFrac: 0.25,
+	}
+}
+
+// Generate builds a random SP parse tree according to cfg, using rng for
+// all randomness (same seed ⇒ same tree).
+func Generate(cfg GenConfig, rng *rand.Rand) *Tree {
+	if cfg.Threads < 1 {
+		panic("spt: Generate requires at least one thread")
+	}
+	if cfg.Skew <= 0 || cfg.Skew >= 1 {
+		panic("spt: Skew must lie strictly between 0 and 1")
+	}
+	counter := 0
+	var build func(threads int) *Node
+	build = func(threads int) *Node {
+		if threads == 1 {
+			id := counter
+			counter++
+			cost := cfg.MinCost
+			if cfg.MaxCost > cfg.MinCost {
+				cost += rng.Int63n(cfg.MaxCost - cfg.MinCost + 1)
+			}
+			leaf := NewLeaf(fmt.Sprintf("u%d", id), cost)
+			if cfg.Steps > 0 {
+				leaf.Steps = randomSteps(cfg, rng)
+			}
+			return leaf
+		}
+		// Split the leaf budget. Bias by Skew: the left share is
+		// drawn from a binomial-ish split around Skew.
+		left := 1 + int(float64(threads-1)*cfg.Skew*(0.5+rng.Float64()))
+		if left >= threads {
+			left = threads - 1
+		}
+		if left < 1 {
+			left = 1
+		}
+		l := build(left)
+		r := build(threads - left)
+		if rng.Float64() < cfg.PProb {
+			return NewP(l, r)
+		}
+		return NewS(l, r)
+	}
+	return MustTree(build(cfg.Threads))
+}
+
+func randomSteps(cfg GenConfig, rng *rand.Rand) []Step {
+	steps := make([]Step, 0, cfg.Steps)
+	for i := 0; i < cfg.Steps; i++ {
+		loc := rng.Intn(cfg.Locations)
+		if rng.Float64() < cfg.WriteFrac {
+			steps = append(steps, W(loc))
+		} else {
+			steps = append(steps, R(loc))
+		}
+	}
+	return steps
+}
+
+// DeepChain returns a maximally serial tree: n threads composed entirely
+// with S-nodes (T∞ = T1). Useful as the "no parallelism" extreme in
+// scaling benchmarks.
+func DeepChain(n int, cost int64) *Tree {
+	leaves := make([]*Node, n)
+	for i := range leaves {
+		leaves[i] = NewLeaf(fmt.Sprintf("u%d", i), cost)
+	}
+	return MustTree(Seq(leaves...))
+}
+
+// WideFan returns a maximally parallel tree: n threads composed entirely
+// with P-nodes (T∞ = max cost). The P-chain leans right, so the first
+// leaf is the shallowest — matching a Cilk procedure that spawns n
+// children in one sync block.
+func WideFan(n int, cost int64) *Tree {
+	leaves := make([]*Node, n)
+	for i := range leaves {
+		leaves[i] = NewLeaf(fmt.Sprintf("u%d", i), cost)
+	}
+	return MustTree(Par(leaves...))
+}
+
+// BalancedPTree returns a perfect binary tree of P-nodes with 2^levels
+// unit-cost threads: the shape of a divide-and-conquer computation like
+// parallel fib or matrix addition. leafCost sets each thread's work.
+func BalancedPTree(levels int, leafCost int64) *Tree {
+	counter := 0
+	var build func(l int) *Node
+	build = func(l int) *Node {
+		if l == 0 {
+			id := counter
+			counter++
+			return NewLeaf(fmt.Sprintf("u%d", id), leafCost)
+		}
+		return NewP(build(l-1), build(l-1))
+	}
+	return MustTree(build(levels))
+}
+
+// FibTree returns the canonical Cilk parse tree of the recursive fib(n)
+// program
+//
+//	fib(n): if n < 2 return n
+//	        x = spawn fib(n-1); y = spawn fib(n-2); sync; return x+y
+//
+// with unit-cost threads for each procedure's serial work. It is the
+// standard Cilk benchmark and exercises deeply nested, irregular
+// parallelism. workPerThread sets the cost of each serial thread.
+func FibTree(n int, workPerThread int64) *Tree {
+	var proc func(k int) *Proc
+	proc = func(k int) *Proc {
+		name := fmt.Sprintf("fib(%d)", k)
+		if k < 2 {
+			return &Proc{Name: name, Blocks: []SyncBlock{{
+				Stmts: []Stmt{ThreadStmt(name+".base", workPerThread)},
+			}}}
+		}
+		return &Proc{Name: name, Blocks: []SyncBlock{{
+			Stmts: []Stmt{
+				ThreadStmt(name+".pre", workPerThread),
+				SpawnStmt(proc(k - 1)),
+				SpawnStmt(proc(k - 2)),
+				ThreadStmt(name+".post", workPerThread),
+			},
+		}}}
+	}
+	root, err := proc(n).Build()
+	if err != nil {
+		panic(err)
+	}
+	return MustTree(root)
+}
+
+// SyncBlockChain returns a tree shaped like a procedure with `blocks` sync
+// blocks, each spawning `width` children of `childCost` work: the
+// bulk-synchronous shape (parallel loops separated by barriers).
+func SyncBlockChain(blocks, width int, childCost int64) *Tree {
+	p := &Proc{Name: "main"}
+	for b := 0; b < blocks; b++ {
+		var stmts []Stmt
+		stmts = append(stmts, ThreadStmt(fmt.Sprintf("b%d.head", b), 1))
+		for w := 0; w < width; w++ {
+			child := &Proc{Name: fmt.Sprintf("b%d.c%d", b, w), Blocks: []SyncBlock{{
+				Stmts: []Stmt{ThreadStmt(fmt.Sprintf("b%d.c%d.body", b, w), childCost)},
+			}}}
+			stmts = append(stmts, SpawnStmt(child))
+		}
+		stmts = append(stmts, ThreadStmt(fmt.Sprintf("b%d.tail", b), 1))
+		p.Blocks = append(p.Blocks, SyncBlock{Stmts: stmts})
+	}
+	root, err := p.Build()
+	if err != nil {
+		panic(err)
+	}
+	return MustTree(root)
+}

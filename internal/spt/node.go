@@ -1,0 +1,352 @@
+// Package spt models series-parallel parse trees and computation dags for
+// fork-join multithreaded programs, following Bender, Fineman, Gilbert, and
+// Leiserson, "On-the-Fly Maintenance of Series-Parallel Relationships in
+// Fork-Join Multithreaded Programs" (SPAA 2004).
+//
+// A parse tree is a full binary tree: every internal node is an S-node
+// (series composition: left subtree executes before the right) or a P-node
+// (parallel composition: the subtrees execute logically in parallel), and
+// every leaf is a thread — a maximal block of serial execution.
+//
+// The package also provides the computation-dag view (Figure 1 of the
+// paper), canonical Cilk parse trees (Figure 10), seeded random program
+// generators, and a least-common-ancestor oracle used as ground truth by
+// the tests and benchmarks in this repository.
+package spt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates parse-tree nodes.
+type Kind uint8
+
+const (
+	// Leaf is a thread: a maximal sequence of serially executed
+	// instructions (an edge of the computation dag).
+	Leaf Kind = iota
+	// SNode composes its children in series: the left subtree executes
+	// entirely before the right subtree begins.
+	SNode
+	// PNode composes its children in parallel: the subtrees execute
+	// logically in parallel.
+	PNode
+)
+
+// String returns "thread", "S", or "P".
+func (k Kind) String() string {
+	switch k {
+	case Leaf:
+		return "thread"
+	case SNode:
+		return "S"
+	case PNode:
+		return "P"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Node is a node of an SP parse tree. Nodes are created with NewLeaf, NewS,
+// and NewP, which maintain the full-binary-tree invariant: internal nodes
+// have exactly two children and leaves have none.
+//
+// Every node carries a small amount of user-visible metadata: a Label for
+// display, a Cost for leaves (the amount of work the thread performs, used
+// by Work/Span and by the scheduler's synthetic execution), and an ID that
+// is assigned densely by Tree.Index (or Renumber) so that per-node
+// auxiliary state can live in flat slices.
+type Node struct {
+	kind        Kind
+	left, right *Node
+	parent      *Node
+
+	// ID is a dense index assigned by Renumber; -1 until then.
+	ID int
+	// Label is an optional human-readable name ("u3", "fib(7)").
+	Label string
+	// Cost is the synthetic work of a leaf thread, in abstract units.
+	// Internal nodes have zero cost. A zero-cost leaf is an "empty
+	// thread" in the paper's sense (footnote 6).
+	Cost int64
+
+	// Steps holds the thread's synthetic instruction trace (shared-memory
+	// accesses and lock operations) for race-detection workloads. It is
+	// nil for plain structural workloads. Only leaves carry steps.
+	Steps []Step
+}
+
+// NewLeaf returns a new thread leaf with the given label and cost.
+func NewLeaf(label string, cost int64) *Node {
+	if cost < 0 {
+		panic("spt: negative thread cost")
+	}
+	return &Node{kind: Leaf, ID: -1, Label: label, Cost: cost}
+}
+
+// NewS returns a new S-node composing left then right in series.
+func NewS(left, right *Node) *Node {
+	return newInternal(SNode, left, right)
+}
+
+// NewP returns a new P-node composing left and right in parallel.
+func NewP(left, right *Node) *Node {
+	return newInternal(PNode, left, right)
+}
+
+func newInternal(k Kind, left, right *Node) *Node {
+	if left == nil || right == nil {
+		panic("spt: internal node requires two children")
+	}
+	if left.parent != nil || right.parent != nil {
+		panic("spt: child already has a parent (trees must not share nodes)")
+	}
+	n := &Node{kind: k, left: left, right: right, ID: -1}
+	left.parent = n
+	right.parent = n
+	return n
+}
+
+// Kind reports the node's kind.
+func (n *Node) Kind() Kind { return n.kind }
+
+// IsLeaf reports whether n is a thread.
+func (n *Node) IsLeaf() bool { return n.kind == Leaf }
+
+// IsS reports whether n is an S-node.
+func (n *Node) IsS() bool { return n.kind == SNode }
+
+// IsP reports whether n is a P-node.
+func (n *Node) IsP() bool { return n.kind == PNode }
+
+// Left returns the left child (nil for leaves).
+func (n *Node) Left() *Node { return n.left }
+
+// Right returns the right child (nil for leaves).
+func (n *Node) Right() *Node { return n.right }
+
+// Parent returns the parent node (nil for the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+// String renders the node compactly, e.g. "u3" for a leaf or "S" / "P"
+// for internal nodes.
+func (n *Node) String() string {
+	if n == nil {
+		return "<nil>"
+	}
+	if n.kind == Leaf {
+		if n.Label != "" {
+			return n.Label
+		}
+		return fmt.Sprintf("thread#%d", n.ID)
+	}
+	return n.kind.String()
+}
+
+// Tree is a rooted SP parse tree with a dense numbering of its nodes.
+// Obtain one with NewTree, which validates the structure and assigns IDs.
+type Tree struct {
+	root   *Node
+	nodes  []*Node // indexed by Node.ID
+	leaves []*Node // threads in left-to-right (English-walk) order
+}
+
+// NewTree validates root as a full binary SP parse tree, assigns dense IDs
+// in preorder, and returns the Tree. It returns an error if the structure
+// is malformed (shared nodes, half-internal nodes, cycles).
+func NewTree(root *Node) (*Tree, error) {
+	if root == nil {
+		return nil, fmt.Errorf("spt: nil root")
+	}
+	if root.parent != nil {
+		return nil, fmt.Errorf("spt: root has a parent; pass the true root")
+	}
+	t := &Tree{root: root}
+	seen := make(map[*Node]bool)
+	var err error
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if err != nil {
+			return
+		}
+		if seen[n] {
+			err = fmt.Errorf("spt: node %v reachable twice; parse trees must not share nodes", n)
+			return
+		}
+		seen[n] = true
+		n.ID = len(t.nodes)
+		t.nodes = append(t.nodes, n)
+		switch n.kind {
+		case Leaf:
+			if n.left != nil || n.right != nil {
+				err = fmt.Errorf("spt: leaf %v has children", n)
+				return
+			}
+			t.leaves = append(t.leaves, n)
+		case SNode, PNode:
+			if n.left == nil || n.right == nil {
+				err = fmt.Errorf("spt: internal node %v lacks two children", n)
+				return
+			}
+			visit(n.left)
+			visit(n.right)
+		default:
+			err = fmt.Errorf("spt: unknown kind %v", n.kind)
+		}
+	}
+	visit(root)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustTree is NewTree that panics on error; intended for tests and
+// generators that construct trees programmatically.
+func MustTree(root *Node) *Tree {
+	t, err := NewTree(root)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Len returns the total number of nodes.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// NumThreads returns the number of leaves (threads).
+func (t *Tree) NumThreads() int { return len(t.leaves) }
+
+// Node returns the node with the given dense ID.
+func (t *Tree) Node(id int) *Node { return t.nodes[id] }
+
+// Nodes returns all nodes in preorder. The slice must not be modified.
+func (t *Tree) Nodes() []*Node { return t.nodes }
+
+// Threads returns the leaves in left-to-right order. The slice must not be
+// modified.
+func (t *Tree) Threads() []*Node { return t.leaves }
+
+// Work returns T1: the total cost of all threads.
+func (t *Tree) Work() int64 {
+	var w int64
+	for _, l := range t.leaves {
+		w += l.Cost
+	}
+	return w
+}
+
+// Span returns T∞: the cost of the critical path, i.e. series compositions
+// add and parallel compositions take the maximum.
+func (t *Tree) Span() int64 {
+	var span func(n *Node) int64
+	span = func(n *Node) int64 {
+		switch n.kind {
+		case Leaf:
+			return n.Cost
+		case SNode:
+			return span(n.left) + span(n.right)
+		default: // PNode
+			l, r := span(n.left), span(n.right)
+			if l > r {
+				return l
+			}
+			return r
+		}
+	}
+	return span(t.root)
+}
+
+// StructuralSpan returns the critical-path length counting one unit per
+// parse-tree node traversed plus each leaf's cost: the analogue of the
+// paper's T-infinity, which includes spawn/join overhead on the critical
+// path. A right-leaning P-chain (a fan) therefore has structural span
+// Theta(n) even though its cost-only Span is one thread.
+func (t *Tree) StructuralSpan() int64 {
+	var span func(n *Node) int64
+	span = func(n *Node) int64 {
+		switch n.kind {
+		case Leaf:
+			return 1 + n.Cost
+		case SNode:
+			return 1 + span(n.left) + span(n.right)
+		default: // PNode
+			l, r := span(n.left), span(n.right)
+			if l > r {
+				return 1 + l
+			}
+			return 1 + r
+		}
+	}
+	return span(t.root)
+}
+
+// Depth returns the height of the parse tree (a single leaf has depth 1).
+func (t *Tree) Depth() int {
+	var depth func(n *Node) int
+	depth = func(n *Node) int {
+		if n.kind == Leaf {
+			return 1
+		}
+		l, r := depth(n.left), depth(n.right)
+		if l < r {
+			l = r
+		}
+		return 1 + l
+	}
+	return depth(t.root)
+}
+
+// CountKind returns the number of nodes of kind k.
+func (t *Tree) CountKind(k Kind) int {
+	c := 0
+	for _, n := range t.nodes {
+		if n.kind == k {
+			c++
+		}
+	}
+	return c
+}
+
+// MaxPNesting returns the maximum number of P-nodes on any root-to-leaf
+// path: the "depth of nested parallelism" d from Figure 3.
+func (t *Tree) MaxPNesting() int {
+	var rec func(n *Node, d int) int
+	rec = func(n *Node, d int) int {
+		if n.kind == PNode {
+			d++
+		}
+		if n.kind == Leaf {
+			return d
+		}
+		l, r := rec(n.left, d), rec(n.right, d)
+		if l < r {
+			l = r
+		}
+		return l
+	}
+	return rec(t.root, 0)
+}
+
+// Format renders the tree as an indented multi-line string, e.g. for
+// cmd/spviz. Leaves show their labels and costs.
+func (t *Tree) Format() string {
+	var b strings.Builder
+	var rec func(n *Node, indent int)
+	rec = func(n *Node, indent int) {
+		b.WriteString(strings.Repeat("  ", indent))
+		if n.kind == Leaf {
+			fmt.Fprintf(&b, "%s (cost=%d)\n", n.String(), n.Cost)
+			return
+		}
+		fmt.Fprintf(&b, "%s\n", n.kind)
+		rec(n.left, indent+1)
+		rec(n.right, indent+1)
+	}
+	rec(t.root, 0)
+	return b.String()
+}

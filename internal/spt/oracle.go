@@ -1,0 +1,191 @@
+package spt
+
+// Relation is the series-parallel relationship between two parse-tree nodes.
+type Relation uint8
+
+const (
+	// Same means the two arguments are the identical node.
+	Same Relation = iota
+	// Precedes means the first node logically precedes the second (u ≺ v).
+	Precedes
+	// Follows means the second node logically precedes the first (v ≺ u).
+	Follows
+	// Parallel means the nodes operate logically in parallel (u ∥ v).
+	Parallel
+	// Ancestor means one node is an ancestor of the other in the parse
+	// tree; the SP relation between a node and its ancestor is not one of
+	// the three classes above.
+	Ancestor
+)
+
+// String names the relation.
+func (r Relation) String() string {
+	switch r {
+	case Same:
+		return "same"
+	case Precedes:
+		return "precedes"
+	case Follows:
+		return "follows"
+	case Parallel:
+		return "parallel"
+	case Ancestor:
+		return "ancestor"
+	default:
+		return "unknown"
+	}
+}
+
+// Oracle answers SP queries by inspecting least common ancestors, exactly
+// as Section 1 of the paper defines the relations: u ≺ v iff lca(u,v) is an
+// S-node with u in its left subtree; u ∥ v iff lca(u,v) is a P-node. It is
+// the ground truth against which the on-the-fly algorithms are tested.
+//
+// The oracle precomputes, per node, its depth and parent, and answers a
+// query in O(depth) time by walking the two nodes up to their LCA. It is
+// deliberately simple rather than fast.
+type Oracle struct {
+	tree  *Tree
+	depth []int
+}
+
+// NewOracle builds an oracle for t.
+func NewOracle(t *Tree) *Oracle {
+	o := &Oracle{tree: t, depth: make([]int, t.Len())}
+	var rec func(n *Node, d int)
+	rec = func(n *Node, d int) {
+		o.depth[n.ID] = d
+		if n.kind != Leaf {
+			rec(n.left, d+1)
+			rec(n.right, d+1)
+		}
+	}
+	rec(t.root, 0)
+	return o
+}
+
+// lcaSides returns the LCA of u and v together with which side of the LCA
+// each argument descends from (-1 left, +1 right, 0 it is the LCA itself).
+func (o *Oracle) lcaSides(u, v *Node) (lca *Node, su, sv int) {
+	du, dv := o.depth[u.ID], o.depth[v.ID]
+	// Lift the deeper node, remembering the last edge taken.
+	lastU, lastV := 0, 0
+	for du > dv {
+		if u.parent.left == u {
+			lastU = -1
+		} else {
+			lastU = +1
+		}
+		u = u.parent
+		du--
+	}
+	for dv > du {
+		if v.parent.left == v {
+			lastV = -1
+		} else {
+			lastV = +1
+		}
+		v = v.parent
+		dv--
+	}
+	for u != v {
+		if u.parent.left == u {
+			lastU = -1
+		} else {
+			lastU = +1
+		}
+		if v.parent.left == v {
+			lastV = -1
+		} else {
+			lastV = +1
+		}
+		u = u.parent
+		v = v.parent
+	}
+	return u, lastU, lastV
+}
+
+// Relate returns the SP relation between nodes u and v of the tree.
+func (o *Oracle) Relate(u, v *Node) Relation {
+	if u == v {
+		return Same
+	}
+	lca, su, sv := o.lcaSides(u, v)
+	if su == 0 || sv == 0 {
+		_ = lca
+		return Ancestor
+	}
+	if lca.kind == PNode {
+		return Parallel
+	}
+	// S-node: left subtree precedes right subtree.
+	if su < 0 && sv > 0 {
+		return Precedes
+	}
+	return Follows
+}
+
+// Precedes reports u ≺ v.
+func (o *Oracle) Precedes(u, v *Node) bool { return o.Relate(u, v) == Precedes }
+
+// Parallel reports u ∥ v.
+func (o *Oracle) Parallel(u, v *Node) bool { return o.Relate(u, v) == Parallel }
+
+// EnglishOrder returns the English ordering of the tree's threads: the
+// depth-first order that visits left children before right children at both
+// S-nodes and P-nodes. The result maps thread position (1-based index, as
+// in Figure 4) per leaf: order[i] is the i-th thread visited.
+func (t *Tree) EnglishOrder() []*Node {
+	out := make([]*Node, 0, len(t.leaves))
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.kind == Leaf {
+			out = append(out, n)
+			return
+		}
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+	return out
+}
+
+// HebrewOrder returns the Hebrew ordering of the tree's threads: the
+// depth-first order that visits right children of P-nodes before left
+// children, but left children of S-nodes first.
+func (t *Tree) HebrewOrder() []*Node {
+	out := make([]*Node, 0, len(t.leaves))
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		switch n.kind {
+		case Leaf:
+			out = append(out, n)
+		case SNode:
+			rec(n.left)
+			rec(n.right)
+		default: // PNode
+			rec(n.right)
+			rec(n.left)
+		}
+	}
+	rec(t.root)
+	return out
+}
+
+// EnglishHebrewIndex returns, for every node ID, the 0-based English and
+// Hebrew indices of the tree's threads (internal nodes get -1). These are
+// the static labels of Figure 4 and the reference for Lemma 1 tests.
+func (t *Tree) EnglishHebrewIndex() (eng, heb []int) {
+	eng = make([]int, t.Len())
+	heb = make([]int, t.Len())
+	for i := range eng {
+		eng[i], heb[i] = -1, -1
+	}
+	for i, n := range t.EnglishOrder() {
+		eng[n.ID] = i
+	}
+	for i, n := range t.HebrewOrder() {
+		heb[n.ID] = i
+	}
+	return eng, heb
+}

@@ -1,0 +1,539 @@
+package spt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperFigure1And2(t *testing.T) {
+	tr := PaperExample()
+	if got := tr.NumThreads(); got != 9 {
+		t.Fatalf("threads = %d, want 9", got)
+	}
+	o := NewOracle(tr)
+	leaf := func(label string) *Node {
+		for _, l := range tr.Threads() {
+			if l.Label == label {
+				return l
+			}
+		}
+		t.Fatalf("no leaf %q", label)
+		return nil
+	}
+	// The relations quoted in Section 1: u1 ≺ u4 and u1 ∥ u6.
+	if got := o.Relate(leaf("u1"), leaf("u4")); got != Precedes {
+		t.Fatalf("u1 vs u4 = %v, want precedes", got)
+	}
+	if got := o.Relate(leaf("u1"), leaf("u6")); got != Parallel {
+		t.Fatalf("u1 vs u6 = %v, want parallel", got)
+	}
+	// Serial execution order is u0..u8 ("in the order of their indices").
+	eng := tr.EnglishOrder()
+	for i, n := range eng {
+		want := "u" + string(rune('0'+i))
+		if n.Label != want {
+			t.Fatalf("English position %d = %s, want %s", i, n.Label, want)
+		}
+	}
+	// The dag round-trips: 9 thread edges, valid, and SP relations are
+	// preserved through ToDag → ToTree.
+	d := tr.ToDag()
+	if err := d.CheckAcyclic(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.ThreadEdges()); got != 9 {
+		t.Fatalf("dag thread edges = %d, want 9", got)
+	}
+}
+
+func TestPaperFigure4Labels(t *testing.T) {
+	tr := PaperExample()
+	eng, heb := tr.EnglishHebrewIndex()
+	byLabel := map[string]*Node{}
+	for _, l := range tr.Threads() {
+		byLabel[l.Label] = l
+	}
+	// The paper quotes (0-based): E[u1]=1, E[u4]=4, E[u6]=6,
+	// H[u1]=5, H[u4]=8, H[u6]=3.
+	checks := []struct {
+		label string
+		e, h  int
+	}{
+		{"u1", 1, 5},
+		{"u4", 4, 8},
+		{"u6", 6, 3},
+	}
+	for _, c := range checks {
+		n := byLabel[c.label]
+		if eng[n.ID] != c.e || heb[n.ID] != c.h {
+			t.Errorf("%s: (E,H) = (%d,%d), want (%d,%d)", c.label, eng[n.ID], heb[n.ID], c.e, c.h)
+		}
+	}
+}
+
+// TestLemma1OnPaperExample checks Lemma 1 and Corollary 2 directly: for
+// all thread pairs, u ≺ v iff E and H agree, u ∥ v iff they disagree.
+func TestLemma1OnPaperExample(t *testing.T) {
+	checkLemma1(t, PaperExample())
+}
+
+func checkLemma1(t *testing.T, tr *Tree) {
+	t.Helper()
+	o := NewOracle(tr)
+	eng, heb := tr.EnglishHebrewIndex()
+	threads := tr.Threads()
+	for _, u := range threads {
+		for _, v := range threads {
+			if u == v {
+				continue
+			}
+			rel := o.Relate(u, v)
+			eLess := eng[u.ID] < eng[v.ID]
+			hLess := heb[u.ID] < heb[v.ID]
+			switch {
+			case eLess && hLess:
+				if rel != Precedes {
+					t.Fatalf("%s vs %s: orders agree but oracle says %v", u, v, rel)
+				}
+			case !eLess && !hLess:
+				if rel != Follows {
+					t.Fatalf("%s vs %s: orders agree (reversed) but oracle says %v", u, v, rel)
+				}
+			default:
+				if rel != Parallel {
+					t.Fatalf("%s vs %s: orders disagree but oracle says %v", u, v, rel)
+				}
+			}
+		}
+	}
+}
+
+func TestLemma1OnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		cfg := DefaultGenConfig(2 + rng.Intn(60))
+		cfg.PProb = []float64{0.1, 0.5, 0.9}[trial%3]
+		checkLemma1(t, Generate(cfg, rng))
+	}
+}
+
+func TestOracleSameAndAncestor(t *testing.T) {
+	tr := PaperExample()
+	o := NewOracle(tr)
+	root := tr.Root()
+	leaf := tr.Threads()[3]
+	if got := o.Relate(leaf, leaf); got != Same {
+		t.Fatalf("Relate(x,x) = %v", got)
+	}
+	if got := o.Relate(root, leaf); got != Ancestor {
+		t.Fatalf("Relate(root, leaf) = %v", got)
+	}
+	if got := o.Relate(leaf, root); got != Ancestor {
+		t.Fatalf("Relate(leaf, root) = %v", got)
+	}
+}
+
+func TestWorkSpanDepth(t *testing.T) {
+	chain := DeepChain(10, 3)
+	if w, s := chain.Work(), chain.Span(); w != 30 || s != 30 {
+		t.Fatalf("chain work/span = %d/%d, want 30/30", w, s)
+	}
+	fan := WideFan(16, 5)
+	if w, s := fan.Work(), fan.Span(); w != 80 || s != 5 {
+		t.Fatalf("fan work/span = %d/%d, want 80/5", w, s)
+	}
+	if got := fan.MaxPNesting(); got != 15 {
+		// Right-leaning P-chain: leftmost leaf sits under 1 P-node,
+		// the last two under 15.
+		t.Fatalf("fan P-nesting = %d, want 15", got)
+	}
+	bal := BalancedPTree(4, 2)
+	if got := bal.NumThreads(); got != 16 {
+		t.Fatalf("balanced threads = %d, want 16", got)
+	}
+	if w, s := bal.Work(), bal.Span(); w != 32 || s != 2 {
+		t.Fatalf("balanced work/span = %d/%d, want 32/2", w, s)
+	}
+	if got := bal.Depth(); got != 5 {
+		t.Fatalf("balanced depth = %d, want 5", got)
+	}
+}
+
+func TestSeqParBuilders(t *testing.T) {
+	a, b, c := NewLeaf("a", 1), NewLeaf("b", 1), NewLeaf("c", 1)
+	tr := MustTree(Seq(a, b, c))
+	ord := tr.EnglishOrder()
+	if ord[0] != a || ord[1] != b || ord[2] != c {
+		t.Fatal("Seq order wrong")
+	}
+	o := NewOracle(tr)
+	if !o.Precedes(a, b) || !o.Precedes(b, c) || !o.Precedes(a, c) {
+		t.Fatal("Seq must chain in series")
+	}
+	x, y, z := NewLeaf("x", 1), NewLeaf("y", 1), NewLeaf("z", 1)
+	tp := MustTree(Par(x, y, z))
+	op := NewOracle(tp)
+	if !op.Parallel(x, y) || !op.Parallel(y, z) || !op.Parallel(x, z) {
+		t.Fatal("Par must compose in parallel")
+	}
+}
+
+func TestSeqParPanicOnEmpty(t *testing.T) {
+	for _, f := range []func(){func() { Seq() }, func() { Par() }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewTreeRejectsSharedNodes(t *testing.T) {
+	a := NewLeaf("a", 1)
+	b := NewLeaf("b", 1)
+	root := NewS(a, b)
+	// Manually corrupt: point both children at a.
+	root.right = a
+	if _, err := NewTree(root); err == nil {
+		t.Fatal("expected error for shared node")
+	}
+}
+
+func TestNewTreeRejectsNilAndParented(t *testing.T) {
+	if _, err := NewTree(nil); err == nil {
+		t.Fatal("expected error for nil root")
+	}
+	a, b := NewLeaf("a", 1), NewLeaf("b", 1)
+	root := NewS(a, b)
+	if _, err := NewTree(a); err == nil {
+		t.Fatal("expected error for non-root node")
+	}
+	_ = root
+}
+
+func TestNewLeafRejectsNegativeCost(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLeaf("bad", -1)
+}
+
+func TestCanonicalCilkTreeShape(t *testing.T) {
+	// One sync block: u0, spawn A, u1, spawn B, u2.
+	child := func(name string) *Proc {
+		return &Proc{Name: name, Blocks: []SyncBlock{{
+			Stmts: []Stmt{ThreadStmt(name+".body", 2)},
+		}}}
+	}
+	p := &Proc{Name: "main", Blocks: []SyncBlock{{
+		Stmts: []Stmt{
+			ThreadStmt("u0", 1),
+			SpawnStmt(child("A")),
+			ThreadStmt("u1", 1),
+			SpawnStmt(child("B")),
+			ThreadStmt("u2", 1),
+		},
+	}}}
+	root, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := MustTree(root)
+	o := NewOracle(tr)
+	var u0, u1, u2, a, b *Node
+	for _, l := range tr.Threads() {
+		switch l.Label {
+		case "u0":
+			u0 = l
+		case "u1":
+			u1 = l
+		case "u2":
+			u2 = l
+		case "A.body":
+			a = l
+		case "B.body":
+			b = l
+		}
+	}
+	// Canonical semantics: u0 precedes everything; A is parallel to
+	// u1, B, and u2; B is parallel to u2; u1 precedes B and u2.
+	if !o.Precedes(u0, a) || !o.Precedes(u0, u1) || !o.Precedes(u0, b) || !o.Precedes(u0, u2) {
+		t.Fatal("u0 must precede the rest")
+	}
+	if !o.Parallel(a, u1) || !o.Parallel(a, b) || !o.Parallel(a, u2) {
+		t.Fatal("spawned A must be parallel to the rest of its sync block")
+	}
+	if !o.Parallel(b, u2) {
+		t.Fatal("spawned B must be parallel to the block tail")
+	}
+	if !o.Precedes(u1, b) || !o.Precedes(u1, u2) {
+		t.Fatal("u1 must precede later statements")
+	}
+}
+
+func TestCanonicalCilkMultipleBlocks(t *testing.T) {
+	child := &Proc{Name: "c", Blocks: []SyncBlock{{
+		Stmts: []Stmt{ThreadStmt("c.body", 1)},
+	}}}
+	p := &Proc{Name: "main", Blocks: []SyncBlock{
+		{Stmts: []Stmt{ThreadStmt("b0", 1), SpawnStmt(child)}},
+		{Stmts: []Stmt{ThreadStmt("b1", 1)}},
+	}}
+	root, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := MustTree(root)
+	o := NewOracle(tr)
+	var cBody, b1 *Node
+	for _, l := range tr.Threads() {
+		switch l.Label {
+		case "c.body":
+			cBody = l
+		case "b1":
+			b1 = l
+		}
+	}
+	// The sync between blocks serializes the spawned child before b1.
+	if !o.Precedes(cBody, b1) {
+		t.Fatal("sync must serialize block 0's spawn before block 1")
+	}
+}
+
+func TestProcBuildErrors(t *testing.T) {
+	if _, err := (&Proc{Name: "empty"}).Build(); err == nil {
+		t.Fatal("expected error for no blocks")
+	}
+	bad := &Proc{Name: "bad", Blocks: []SyncBlock{{Stmts: []Stmt{{}}}}}
+	if _, err := bad.Build(); err == nil {
+		t.Fatal("expected error for empty statement")
+	}
+	both := &Proc{Name: "both", Blocks: []SyncBlock{{Stmts: []Stmt{{
+		Thread: NewLeaf("x", 1),
+		Spawn:  &Proc{Name: "c", Blocks: []SyncBlock{{Stmts: []Stmt{ThreadStmt("c", 1)}}}},
+	}}}}}
+	if _, err := both.Build(); err == nil {
+		t.Fatal("expected error for statement with both fields")
+	}
+}
+
+func TestFibTree(t *testing.T) {
+	tr := FibTree(6, 1)
+	if tr.NumThreads() == 0 {
+		t.Fatal("fib tree has no threads")
+	}
+	// fib parallelism: work grows ~φ^n, span ~n.
+	if tr.Work() <= tr.Span() {
+		t.Fatalf("fib(6) should have parallelism: work %d, span %d", tr.Work(), tr.Span())
+	}
+	checkLemma1(t, tr)
+}
+
+func TestSyncBlockChain(t *testing.T) {
+	tr := SyncBlockChain(3, 4, 10)
+	o := NewOracle(tr)
+	// All children of block 0 must precede all children of block 1.
+	var b0, b1 []*Node
+	for _, l := range tr.Threads() {
+		if len(l.Label) >= 5 && l.Label[:2] == "b0" && l.Label[len(l.Label)-4:] == "body" {
+			b0 = append(b0, l)
+		}
+		if len(l.Label) >= 5 && l.Label[:2] == "b1" && l.Label[len(l.Label)-4:] == "body" {
+			b1 = append(b1, l)
+		}
+	}
+	if len(b0) != 4 || len(b1) != 4 {
+		t.Fatalf("children found: %d, %d; want 4, 4", len(b0), len(b1))
+	}
+	for _, x := range b0 {
+		for _, y := range b1 {
+			if !o.Precedes(x, y) {
+				t.Fatalf("%s must precede %s across the sync", x, y)
+			}
+		}
+	}
+	for i, x := range b0 {
+		for j, y := range b0 {
+			if i != j && !o.Parallel(x, y) {
+				t.Fatalf("%s and %s must be parallel within a block", x, y)
+			}
+		}
+	}
+}
+
+func TestGenerateRespectsConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultGenConfig(100)
+	cfg.Steps = 5
+	cfg.Locations = 10
+	tr := Generate(cfg, rng)
+	if tr.NumThreads() != 100 {
+		t.Fatalf("threads = %d, want 100", tr.NumThreads())
+	}
+	for _, l := range tr.Threads() {
+		if len(l.Steps) != 5 {
+			t.Fatalf("thread %s has %d steps, want 5", l, len(l.Steps))
+		}
+		for _, s := range l.Steps {
+			if s.Loc < 0 || s.Loc >= 10 {
+				t.Fatalf("step location %d out of range", s.Loc)
+			}
+		}
+		if l.Cost < cfg.MinCost || l.Cost > cfg.MaxCost {
+			t.Fatalf("cost %d out of [%d,%d]", l.Cost, cfg.MinCost, cfg.MaxCost)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig(64)
+	a := Generate(cfg, rand.New(rand.NewSource(123)))
+	b := Generate(cfg, rand.New(rand.NewSource(123)))
+	as, bs := a.Format(), b.Format()
+	if as != bs {
+		t.Fatal("same seed must yield identical trees")
+	}
+}
+
+func TestQuickGenerateAlwaysValid(t *testing.T) {
+	f := func(seed int64, threads uint8, pp uint8) bool {
+		n := int(threads)%200 + 1
+		cfg := DefaultGenConfig(n)
+		cfg.PProb = float64(pp%101) / 100
+		tr := Generate(cfg, rand.New(rand.NewSource(seed)))
+		if tr.NumThreads() != n {
+			return false
+		}
+		if tr.CountKind(SNode)+tr.CountKind(PNode) != n-1 {
+			return false // full binary tree: n-1 internal nodes
+		}
+		return tr.Work() >= tr.Span()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDagRoundTripPreservesRelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		tr := Generate(DefaultGenConfig(2+rng.Intn(30)), rng)
+		d := tr.ToDag()
+		if err := d.CheckAcyclic(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := d.ToTree()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Match threads by label; relations must be identical.
+		orig := NewOracle(tr)
+		rec := NewOracle(back)
+		recByLabel := map[string]*Node{}
+		for _, l := range back.Threads() {
+			if l.Label != "" {
+				recByLabel[l.Label] = l
+			}
+		}
+		threads := tr.Threads()
+		for _, u := range threads {
+			for _, v := range threads {
+				if u == v {
+					continue
+				}
+				ru, rv := recByLabel[u.Label], recByLabel[v.Label]
+				if ru == nil || rv == nil {
+					t.Fatalf("trial %d: thread %s/%s missing after round trip", trial, u, v)
+				}
+				if orig.Relate(u, v) != rec.Relate(ru, rv) {
+					t.Fatalf("trial %d: relation of (%s,%s) changed: %v -> %v",
+						trial, u, v, orig.Relate(u, v), rec.Relate(ru, rv))
+				}
+			}
+		}
+	}
+}
+
+func TestDagToTreeRejectsNonSP(t *testing.T) {
+	// Build a non-SP dag by hand: the "N" graph (crossing dependency).
+	d := &Dag{}
+	src := d.newVertex(Source)
+	snk := d.newVertex(Sink)
+	a := d.newVertex(Fork)
+	b := d.newVertex(Join)
+	// src->a, src->b would make src out-degree 2 (ok), a->snk, b->snk,
+	// a->b creates the crossing.
+	d.Src, d.Snk = src, snk
+	d.newEdge(src, a, "e1", 1, NewLeaf("e1", 1))
+	d.newEdge(src, b, "e2", 1, NewLeaf("e2", 1))
+	d.newEdge(a, snk, "e3", 1, NewLeaf("e3", 1))
+	d.newEdge(b, snk, "e4", 1, NewLeaf("e4", 1))
+	d.newEdge(a, b, "e5", 1, NewLeaf("e5", 1))
+	if _, err := d.ToTree(); err == nil {
+		t.Fatal("expected non-SP dag to be rejected")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	for r, want := range map[Relation]string{
+		Same: "same", Precedes: "precedes", Follows: "follows",
+		Parallel: "parallel", Ancestor: "ancestor",
+	} {
+		if r.String() != want {
+			t.Fatalf("Relation(%d).String() = %q", r, r.String())
+		}
+	}
+}
+
+func TestKindAndStepStrings(t *testing.T) {
+	if SNode.String() != "S" || PNode.String() != "P" || Leaf.String() != "thread" {
+		t.Fatal("Kind strings wrong")
+	}
+	if R(3).String() != "read x3" || W(4).String() != "write x4" {
+		t.Fatal("Step strings wrong")
+	}
+	if Acq(1).String() != "acquire m1" || Rel(2).String() != "release m2" {
+		t.Fatal("lock step strings wrong")
+	}
+	if WorkStep(9).String() != "compute 9" {
+		t.Fatal("compute step string wrong")
+	}
+}
+
+func TestFormatOutputs(t *testing.T) {
+	tr := PaperExample()
+	if s := tr.Format(); len(s) == 0 {
+		t.Fatal("tree Format empty")
+	}
+	if s := tr.ToDag().Format(); len(s) == 0 {
+		t.Fatal("dag Format empty")
+	}
+}
+
+func TestStructuralSpan(t *testing.T) {
+	// Single leaf: 1 node + cost.
+	if got := MustTree(NewLeaf("a", 5)).StructuralSpan(); got != 6 {
+		t.Fatalf("leaf structural span = %d, want 6", got)
+	}
+	// Serial chain: every node on the critical path.
+	chain := DeepChain(4, 1) // 4 leaves (cost 1 each) + 3 S-nodes
+	if got := chain.StructuralSpan(); got != 4*2+3 {
+		t.Fatalf("chain structural span = %d, want 11", got)
+	}
+	// A fan's structural span grows linearly with width even though its
+	// cost-only span stays flat.
+	small := WideFan(8, 1).StructuralSpan()
+	large := WideFan(64, 1).StructuralSpan()
+	if large < small*4 {
+		t.Fatalf("fan structural span must grow with width: %d vs %d", small, large)
+	}
+	if WideFan(64, 1).Span() != 1 {
+		t.Fatal("fan cost-only span must stay 1")
+	}
+}

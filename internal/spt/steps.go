@@ -1,0 +1,77 @@
+package spt
+
+import "fmt"
+
+// Op is the kind of a synthetic instruction in a thread's trace.
+type Op uint8
+
+const (
+	// Read is a shared-memory load.
+	Read Op = iota
+	// Write is a shared-memory store.
+	Write
+	// Acquire locks a mutex for the remainder of the thread or until the
+	// matching Release.
+	Acquire
+	// Release unlocks a mutex previously acquired by this thread.
+	Release
+	// Compute burns Arg abstract work units without touching memory.
+	Compute
+)
+
+// String returns a short mnemonic for the operation.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Acquire:
+		return "acquire"
+	case Release:
+		return "release"
+	case Compute:
+		return "compute"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Step is one synthetic instruction of a thread: a shared-memory access, a
+// lock operation, or plain computation. The race detectors replay these
+// steps; the schedulers use them to give threads realistic, instrumentable
+// work. Loc identifies a shared-memory location for Read/Write, a mutex for
+// Acquire/Release, and is unused for Compute. Arg carries the work amount
+// for Compute and is unused otherwise.
+type Step struct {
+	Op  Op
+	Loc int
+	Arg int64
+}
+
+// R returns a Read step for location loc.
+func R(loc int) Step { return Step{Op: Read, Loc: loc} }
+
+// W returns a Write step for location loc.
+func W(loc int) Step { return Step{Op: Write, Loc: loc} }
+
+// Acq returns an Acquire step for mutex m.
+func Acq(m int) Step { return Step{Op: Acquire, Loc: m} }
+
+// Rel returns a Release step for mutex m.
+func Rel(m int) Step { return Step{Op: Release, Loc: m} }
+
+// Work returns a Compute step of n units.
+func WorkStep(n int64) Step { return Step{Op: Compute, Arg: n} }
+
+// String renders the step, e.g. "write x12".
+func (s Step) String() string {
+	switch s.Op {
+	case Compute:
+		return fmt.Sprintf("compute %d", s.Arg)
+	case Acquire, Release:
+		return fmt.Sprintf("%s m%d", s.Op, s.Loc)
+	default:
+		return fmt.Sprintf("%s x%d", s.Op, s.Loc)
+	}
+}

@@ -1,0 +1,102 @@
+// Package stats provides the small statistical helpers the benchmark
+// harness uses to check the paper's asymptotic claims: least-squares
+// fits for linearity (Theorem 5, Corollary 6) and growth-exponent
+// estimation on log-log series.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// LinearFit returns the least-squares slope and intercept of y against x,
+// plus the correlation coefficient r. It panics on mismatched or
+// too-short inputs.
+func LinearFit(x, y []float64) (slope, intercept, r float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		panic(fmt.Sprintf("stats: LinearFit needs matched series of length ≥ 2, got %d/%d", len(x), len(y)))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit with constant x")
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		r = 1
+	} else {
+		r = sxy / math.Sqrt(sxx*syy)
+	}
+	return slope, intercept, r
+}
+
+// GrowthExponent fits y ≈ c·x^k on a log-log scale and returns k. All
+// inputs must be positive.
+func GrowthExponent(x, y []float64) float64 {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			panic("stats: GrowthExponent needs positive data")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	k, _, _ := LinearFit(lx, ly)
+	return k
+}
+
+// RatioSpread returns max(y_i/x_i) / min(y_i/x_i): how far the series is
+// from exact proportionality. A small spread supports an O(x) claim.
+func RatioSpread(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		panic("stats: RatioSpread needs matched non-empty series")
+	}
+	minR, maxR := math.Inf(1), math.Inf(-1)
+	for i := range x {
+		if x[i] == 0 {
+			panic("stats: RatioSpread with zero x")
+		}
+		r := y[i] / x[i]
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	return maxR / minR
+}

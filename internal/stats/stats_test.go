@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := StdDev(xs); !almost(s, 2, 1e-12) {
+		t.Fatalf("stddev = %v", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty input must give 0")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r := LinearFit(x, y)
+	if !almost(slope, 2, 1e-12) || !almost(intercept, 1, 1e-12) || !almost(r, 1, 1e-12) {
+		t.Fatalf("fit = %v, %v, %v", slope, intercept, r)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x, y []float64
+	for i := 1; i <= 200; i++ {
+		x = append(x, float64(i))
+		y = append(y, 3*float64(i)+10+rng.NormFloat64())
+	}
+	slope, _, r := LinearFit(x, y)
+	if !almost(slope, 3, 0.05) {
+		t.Fatalf("slope = %v", slope)
+	}
+	if r < 0.999 {
+		t.Fatalf("r = %v", r)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { LinearFit([]float64{1}, []float64{1}) },
+		func() { LinearFit([]float64{1, 2}, []float64{1}) },
+		func() { LinearFit([]float64{5, 5}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGrowthExponent(t *testing.T) {
+	var x, y []float64
+	for i := 1; i <= 10; i++ {
+		x = append(x, float64(i))
+		y = append(y, 7*math.Pow(float64(i), 2.5))
+	}
+	if k := GrowthExponent(x, y); !almost(k, 2.5, 1e-9) {
+		t.Fatalf("k = %v", k)
+	}
+}
+
+func TestRatioSpread(t *testing.T) {
+	x := []float64{1, 2, 4}
+	y := []float64{10, 20, 40}
+	if s := RatioSpread(x, y); !almost(s, 1, 1e-12) {
+		t.Fatalf("spread = %v", s)
+	}
+	y2 := []float64{10, 30, 40}
+	if s := RatioSpread(x, y2); !almost(s, 1.5, 1e-12) {
+		t.Fatalf("spread = %v", s)
+	}
+}
+
+func TestQuickLinearFitRecoversLine(t *testing.T) {
+	f := func(seed int64, a8, b8 int8) bool {
+		a, b := float64(a8), float64(b8)
+		rng := rand.New(rand.NewSource(seed))
+		var x, y []float64
+		for i := 0; i < 50; i++ {
+			xi := float64(i) + rng.Float64()
+			x = append(x, xi)
+			y = append(y, a*xi+b)
+		}
+		slope, intercept, _ := LinearFit(x, y)
+		return almost(slope, a, 1e-6) && almost(intercept, b, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

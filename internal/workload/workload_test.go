@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spt"
+)
+
+func TestPlantRacesGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		p := PlantRaces(DefaultPlantConfig(), rng)
+		o := spt.NewOracle(p.Tree)
+		// Verify the planted racy locations really have parallel
+		// conflicting writers, via the oracle.
+		type acc struct {
+			u     *spt.Node
+			write bool
+		}
+		byLoc := map[int][]acc{}
+		for _, l := range p.Tree.Threads() {
+			for _, s := range l.Steps {
+				if s.Op == spt.Read || s.Op == spt.Write {
+					byLoc[s.Loc] = append(byLoc[s.Loc], acc{l, s.Op == spt.Write})
+				}
+			}
+		}
+		hasRace := func(loc int) bool {
+			as := byLoc[loc]
+			for i := range as {
+				for j := i + 1; j < len(as); j++ {
+					if (as[i].write || as[j].write) && as[i].u != as[j].u &&
+						o.Relate(as[i].u, as[j].u) == spt.Parallel {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		for _, loc := range p.RacyLocs {
+			if !hasRace(loc) {
+				t.Fatalf("trial %d: planted racy loc %d has no race", trial, loc)
+			}
+		}
+		for _, loc := range p.SafeLocs {
+			if hasRace(loc) {
+				t.Fatalf("trial %d: planted safe loc %d races", trial, loc)
+			}
+		}
+	}
+}
+
+func TestPlantRacesDisjointLocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := PlantRaces(DefaultPlantConfig(), rng)
+	seen := map[int]bool{}
+	for _, l := range append(append([]int{}, p.RacyLocs...), p.SafeLocs...) {
+		if seen[l] {
+			t.Fatalf("location %d planted twice", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestLockProtectedShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, prot, unprot := LockProtected(5, rng)
+	if prot == unprot {
+		t.Fatal("locations must differ")
+	}
+	if tr.NumThreads() != 7 {
+		t.Fatalf("threads = %d, want 7", tr.NumThreads())
+	}
+	// All threads pairwise parallel.
+	o := spt.NewOracle(tr)
+	ths := tr.Threads()
+	for i := range ths {
+		for j := i + 1; j < len(ths); j++ {
+			if o.Relate(ths[i], ths[j]) != spt.Parallel {
+				t.Fatal("LockProtected threads must all be parallel")
+			}
+		}
+	}
+}
+
+func TestFibWithAccesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := FibWithAccesses(7, 5, 8, true, rng)
+	for _, l := range tr.Threads() {
+		if len(l.Steps) != 5 {
+			t.Fatalf("thread %s has %d steps", l, len(l.Steps))
+		}
+	}
+	priv := FibWithAccesses(7, 3, 0, false, rng)
+	locs := map[int][]*spt.Node{}
+	for _, l := range priv.Threads() {
+		for _, s := range l.Steps {
+			locs[s.Loc] = append(locs[s.Loc], l)
+		}
+	}
+	for loc, users := range locs {
+		for _, u := range users {
+			if u != users[0] {
+				t.Fatalf("private loc %d shared by %s and %s", loc, users[0], u)
+			}
+		}
+	}
+}
+
+func TestVectorAccumulateShape(t *testing.T) {
+	good := VectorAccumulate(4, false)
+	o := spt.NewOracle(good)
+	var reduce *spt.Node
+	for _, l := range good.Threads() {
+		if l.Label == "reduce" {
+			reduce = l
+		}
+	}
+	for _, l := range good.Threads() {
+		if l != reduce && o.Relate(l, reduce) != spt.Precedes {
+			t.Fatal("workers must precede reduce in the correct version")
+		}
+	}
+	bad := VectorAccumulate(4, true)
+	ob := spt.NewOracle(bad)
+	var reduceB *spt.Node
+	for _, l := range bad.Threads() {
+		if l.Label == "reduce" {
+			reduceB = l
+		}
+	}
+	for _, l := range bad.Threads() {
+		if l != reduceB && ob.Relate(l, reduceB) != spt.Parallel {
+			t.Fatal("workers must be parallel to reduce in the buggy version")
+		}
+	}
+}
+
+func TestShapes(t *testing.T) {
+	m := Shapes(64, 2)
+	for name, tr := range m {
+		if tr.NumThreads() == 0 {
+			t.Fatalf("%s has no threads", name)
+		}
+		if tr.Work() == 0 {
+			t.Fatalf("%s has no work", name)
+		}
+	}
+	if m["chain"].Span() != m["chain"].Work() {
+		t.Fatal("chain must be fully serial")
+	}
+	if m["fan"].Span() != 2 {
+		t.Fatal("fan span must equal one thread's cost")
+	}
+}

@@ -1,0 +1,140 @@
+package repro_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro"
+)
+
+// TestQuickstartFlow is the end-to-end integration path of the README:
+// build a program, maintain SP relationships with SP-order, query.
+func TestQuickstartFlow(t *testing.T) {
+	tr := repro.PaperExample()
+	sp := repro.NewSPOrder(tr)
+	sp.Run(nil)
+	threads := tr.Threads()
+	u1, u4, u6 := threads[1], threads[4], threads[6]
+	if !sp.Precedes(u1, u4) {
+		t.Fatal("u1 must precede u4 (paper Section 1)")
+	}
+	if !sp.Parallel(u1, u6) {
+		t.Fatal("u1 must be parallel to u6 (paper Section 1)")
+	}
+}
+
+// TestFourBackendsAgreeOnRaces integrates generators, all four serial
+// SP-maintenance backends, and the detector.
+func TestFourBackendsAgreeOnRaces(t *testing.T) {
+	rng := repro.NewRand(7)
+	p := repro.PlantRaces(repro.DefaultPlantConfig(), rng)
+	want := p.RacyLocs
+	for _, b := range []repro.Backend{
+		repro.BackendSPOrder, repro.BackendSPBags,
+		repro.BackendEnglishHebrew, repro.BackendOffsetSpan,
+	} {
+		got := repro.DetectSerial(p.Tree, b).Locations
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: locations %v, want %v", b, got, want)
+		}
+	}
+}
+
+// TestParallelPipeline integrates canonicalization, the scheduler,
+// SP-hybrid, and the parallel detector.
+func TestParallelPipeline(t *testing.T) {
+	rng := repro.NewRand(13)
+	p := repro.PlantRaces(repro.DefaultPlantConfig(), rng)
+	canon, _ := repro.Canonicalize(p.Tree)
+	rep := repro.DetectParallel(canon, 4, 1, true)
+	if !reflect.DeepEqual(rep.Locations, p.RacyLocs) {
+		t.Fatalf("parallel: locations %v, want %v", rep.Locations, p.RacyLocs)
+	}
+	if rep.Stats.ThreadsExecuted != int64(canon.NumThreads()) {
+		t.Fatal("not all threads executed")
+	}
+}
+
+// TestHybridDirectUse exercises the SPHybrid API directly from the
+// facade, with in-thread queries.
+func TestHybridDirectUse(t *testing.T) {
+	tr := repro.FibTree(10, 1)
+	o := repro.NewOracle(tr)
+	var wrong int64
+	var h *repro.SPHybrid
+	var prev *repro.Node // safe: single-worker run is sequential
+	h = repro.NewSPHybrid(tr, func(w int, u *repro.Node) {
+		if prev != nil && prev != u {
+			rel := o.Relate(prev, u)
+			if h.Precedes(prev, u) != (rel == repro.Precedes) {
+				wrong++
+			}
+		}
+		prev = u
+		runtime.Gosched()
+	})
+	h.Run(1, 42)
+	if wrong != 0 {
+		t.Fatalf("%d wrong answers", wrong)
+	}
+}
+
+// TestLockAwareFacade integrates the lockset detector through the facade.
+func TestLockAwareFacade(t *testing.T) {
+	tr, _, unprotected := repro.LockProtected(4, repro.NewRand(3))
+	rep := repro.DetectLockAware(tr)
+	if len(rep.Locations) != 1 || rep.Locations[0] != unprotected {
+		t.Fatalf("lock-aware flagged %v", rep.Locations)
+	}
+}
+
+// TestDagViewIntegration round-trips the paper example through the dag.
+func TestDagViewIntegration(t *testing.T) {
+	tr := repro.PaperExample()
+	d := tr.ToDag()
+	back, err := d.ToTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Work() != tr.Work() || back.Span() != tr.Span() {
+		t.Fatal("dag round trip changed work/span")
+	}
+}
+
+// TestNaiveLockedBaseline integrates the Section 3 strawman via
+// EnsureVisited-driven lazy expansion.
+func TestNaiveLockedBaseline(t *testing.T) {
+	tr := repro.FibTree(8, 1)
+	o := repro.NewOracle(tr)
+	l := repro.NewLockedSPOrder(tr)
+	var prev *repro.Node
+	repro.SerialWalk(tr, nil, func(u *repro.Node) {
+		l.EnsureVisited(u)
+		if prev != nil {
+			rel := o.Relate(prev, u)
+			if l.Precedes(prev, u) != (rel == repro.Precedes) {
+				t.Fatalf("locked SP-order wrong on (%s,%s)", prev, u)
+			}
+			if l.Parallel(prev, u) != (rel == repro.Parallel) {
+				t.Fatalf("locked SP-order parallel wrong on (%s,%s)", prev, u)
+			}
+		}
+		prev = u
+	})
+}
+
+// TestFullHistoryAgreesOnFacadeWorkloads ties the ground-truth checker to
+// the buggy/fixed vector workload.
+func TestFullHistoryAgreesOnFacadeWorkloads(t *testing.T) {
+	bad := repro.VectorAccumulate(6, true)
+	truth := repro.FullHistoryCheck(bad)
+	det := repro.DetectSerial(bad, repro.BackendSPOrder)
+	if !reflect.DeepEqual(truth.Locations, det.Locations) {
+		t.Fatalf("detector %v, truth %v", det.Locations, truth.Locations)
+	}
+	good := repro.VectorAccumulate(6, false)
+	if len(repro.FullHistoryCheck(good).Locations) != 0 {
+		t.Fatal("correct program must be race-free")
+	}
+}
