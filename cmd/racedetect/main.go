@@ -1,13 +1,17 @@
 // Command racedetect runs the on-the-fly determinacy-race detector on a
 // generated fork-join workload and reports what it finds, exercising
-// every backend the repository implements (the four serial backends of
-// Figure 3, the parallel SP-hybrid detector, and the lock-aware ALL-SETS
-// detector).
+// every SP-maintenance backend registered in the repro/sp registry
+// through the event API, plus the scheduler-coupled parallel SP-hybrid
+// detector and the lock-aware ALL-SETS detector.
 //
 // Usage:
 //
 //	racedetect -workload {planted|vector|vector-buggy|fib|locks}
 //	           [-threads n] [-seed s] [-workers p] [-backend name]
+//
+// -backend selects one registered backend by name; "all" runs every
+// registered backend; "?" (or "list") prints the registry with each
+// backend's capabilities and asymptotic bounds and exits.
 package main
 
 import (
@@ -18,22 +22,22 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/race"
+	"repro/sp"
 )
-
-var backends = map[string]repro.Backend{
-	"sporder":        repro.BackendSPOrder,
-	"spbags":         repro.BackendSPBags,
-	"english-hebrew": repro.BackendEnglishHebrew,
-	"offset-span":    repro.BackendOffsetSpan,
-}
 
 func main() {
 	workloadName := flag.String("workload", "planted", "workload: planted|vector|vector-buggy|fib|locks")
 	threads := flag.Int("threads", 128, "threads in the generated program")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 4, "workers for the parallel detector")
-	backend := flag.String("backend", "all", "serial backend: sporder|spbags|english-hebrew|offset-span|all")
+	backend := flag.String("backend", "all", "backend registry name, 'all', or '?' to list")
 	flag.Parse()
+
+	if *backend == "?" || *backend == "list" {
+		printBackends()
+		return
+	}
 
 	rng := repro.NewRand(*seed)
 	switch *workloadName {
@@ -65,21 +69,44 @@ func main() {
 	}
 }
 
+// printBackends lists the registry with capabilities and bounds.
+func printBackends() {
+	fmt.Println("Registered SP-maintenance backends (repro/sp):")
+	fmt.Printf("%-18s %-10s %-9s %-12s %-28s %s\n",
+		"name", "queries", "events", "update", "query cost", "description")
+	for _, info := range sp.Backends() {
+		queries := "current"
+		if info.FullQueries {
+			queries = "any-pair"
+		}
+		order := "serial"
+		if info.AnyOrder {
+			order = "any-order"
+		}
+		fmt.Printf("%-18s %-10s %-9s %-12s %-28s %s\n",
+			info.Name, queries, order, info.UpdateBound, info.QueryBound, info.Description)
+	}
+}
+
 func runAll(tr *repro.Tree, backend string, workers int, seed int64) {
-	names := []string{"sporder", "spbags", "english-hebrew", "offset-span"}
+	var names []string
+	for _, info := range sp.Backends() {
+		names = append(names, info.Name)
+	}
 	if backend != "all" {
-		if _, ok := backends[backend]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown backend %q\n", backend)
+		if _, ok := sp.Lookup(backend); !ok {
+			fmt.Fprintf(os.Stderr, "unknown backend %q (available: %v, or '?' to list)\n",
+				backend, names)
 			os.Exit(2)
 		}
 		names = []string{backend}
 	}
-	fmt.Printf("%-16s %10s %10s %10s  %s\n", "backend", "races", "locations", "time", "raced locations")
+	fmt.Printf("%-20s %10s %10s %10s  %s\n", "backend", "races", "locations", "time", "raced locations")
 	for _, name := range names {
 		start := time.Now()
-		rep := repro.DetectSerial(tr, backends[name])
+		rep := race.DetectSerialBackend(tr, name)
 		el := time.Since(start)
-		fmt.Printf("%-16s %10d %10d %10v  %v\n",
+		fmt.Printf("%-20s %10d %10d %10v  %v\n",
 			name, len(rep.Races), len(rep.Locations), el.Round(time.Microsecond), summarize(rep.Locations))
 	}
 
@@ -90,10 +117,10 @@ func runAll(tr *repro.Tree, backend string, workers int, seed int64) {
 	start := time.Now()
 	prep := repro.DetectParallel(canon, workers, seed, true)
 	el := time.Since(start)
-	fmt.Printf("%-16s %10d %10d %10v  %v\n",
-		fmt.Sprintf("sp-hybrid(P=%d)", workers), len(prep.Races), len(prep.Locations),
+	fmt.Printf("%-20s %10d %10d %10v  %v\n",
+		fmt.Sprintf("sp-hybrid(sched P=%d)", workers), len(prep.Races), len(prep.Locations),
 		el.Round(time.Microsecond), summarize(prep.Locations))
-	fmt.Printf("\nSP-hybrid: %d steals, %d splits, %d traces, %d query retries\n",
+	fmt.Printf("\nSP-hybrid scheduler run: %d steals, %d splits, %d traces, %d query retries\n",
 		prep.Stats.Steals, prep.Stats.Splits, prep.Stats.Traces, prep.Stats.QueryRetries)
 
 	if len(prep.Races) > 0 {

@@ -20,9 +20,13 @@ import (
 	"repro/internal/race"
 	"repro/internal/stats"
 	"repro/internal/workload"
+	"repro/sp"
 )
 
-var quick = flag.Bool("quick", false, "smaller workloads, fewer repetitions")
+var (
+	quick       = flag.Bool("quick", false, "smaller workloads, fewer repetitions")
+	backendFlag = flag.String("backend", "all", "restrict the Corollary 6 table to one registered backend")
+)
 
 func main() {
 	table := flag.String("table", "all", "which experiment: fig3|t5|c6|t10|s7|all")
@@ -193,23 +197,30 @@ func theorem5() {
 }
 
 // corollary6 checks race detection is O(T1) with SP-order and compares
-// backends.
+// every backend registered in the repro/sp registry, driven through the
+// event API (-backend restricts to one).
 func corollary6() {
 	fmt.Println("=== Corollary 6: race detection in O(T1) ===")
 	fibs := []int{12, 15, 18, 21}
 	if *quick {
 		fibs = []int{10, 13, 16}
 	}
-	backends := []repro.Backend{
-		repro.BackendSPOrder, repro.BackendSPBags,
-		repro.BackendEnglishHebrew, repro.BackendOffsetSpan,
+	var backends []string
+	if *backendFlag == "all" {
+		backends = sp.BackendNames()
+	} else {
+		if _, ok := sp.Lookup(*backendFlag); !ok {
+			fmt.Printf("unknown backend %q (available: %v)\n\n", *backendFlag, sp.BackendNames())
+			return
+		}
+		backends = []string{*backendFlag}
 	}
 	fmt.Printf("%8s %12s", "fib", "T1")
 	for _, b := range backends {
-		fmt.Printf(" %16s", b)
+		fmt.Printf(" %18s", b)
 	}
 	fmt.Println(" (total detection time)")
-	perBackend := map[repro.Backend][]float64{}
+	perBackend := map[string][]float64{}
 	var t1s []float64
 	for _, n := range fibs {
 		// All-reads sharing: race-free, but every access costs one SP
@@ -220,15 +231,15 @@ func corollary6() {
 		t1s = append(t1s, t1)
 		fmt.Printf("%8d %12.0f", n, t1)
 		for _, b := range backends {
-			el := timeIt(reps(), func() { repro.DetectSerial(tr, b) })
+			el := timeIt(reps(), func() { race.DetectSerialBackend(tr, b) })
 			perBackend[b] = append(perBackend[b], float64(el.Nanoseconds()))
-			fmt.Printf(" %16v", el.Round(time.Microsecond))
+			fmt.Printf(" %18v", el.Round(time.Microsecond))
 		}
 		fmt.Println()
 	}
 	fmt.Println("growth exponent of time vs T1 (1.0 = the O(T1) claim):")
 	for _, b := range backends {
-		fmt.Printf("  %-16s %.3f\n", b, stats.GrowthExponent(t1s, perBackend[b]))
+		fmt.Printf("  %-18s %.3f\n", b, stats.GrowthExponent(t1s, perBackend[b]))
 	}
 	fmt.Println()
 }

@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	spviz [-random n] [-seed s]
+//	spviz [-random n] [-seed s] [-backend name]
 //
 // With -random n it instead generates a random n-thread program and
-// prints its tree, dag, and orderings.
+// prints its tree, dag, and orderings. -backend selects which registered
+// SP-maintenance backend verifies the relations ("?" lists the
+// registry).
 package main
 
 import (
@@ -18,12 +20,27 @@ import (
 
 	"repro"
 	"repro/internal/spt"
+	"repro/sp"
 )
 
 func main() {
 	randomN := flag.Int("random", 0, "visualize a random program with n threads instead of the paper example")
 	seed := flag.Int64("seed", 1, "random seed for -random")
+	backend := flag.String("backend", "sp-order", "SP-maintenance backend verifying the relations ('?' lists)")
 	flag.Parse()
+
+	if *backend == "?" || *backend == "list" {
+		fmt.Println("Registered SP-maintenance backends:")
+		for _, info := range sp.Backends() {
+			fmt.Printf("  %-18s %s\n", info.Name, info.Description)
+		}
+		return
+	}
+	if _, ok := sp.Lookup(*backend); !ok {
+		fmt.Fprintf(os.Stderr, "unknown backend %q (available: %v, or '?' to list)\n",
+			*backend, sp.BackendNames())
+		os.Exit(2)
+	}
 
 	var tree *repro.Tree
 	if *randomN > 0 {
@@ -56,27 +73,77 @@ func main() {
 	fmt.Println()
 
 	if *randomN == 0 {
-		// Verify the Section 1 relations with SP-order on the fly.
-		sp := repro.NewSPOrder(tree)
-		sp.Run(nil)
+		// Verify the Section 1 relations on the fly by replaying the
+		// tree's event stream through the selected backend.
+		m, err := sp.NewMonitor(sp.WithBackend(*backend), sp.WithRaceDetection(false))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if !m.Backend().FullQueries {
+			fmt.Printf("(note: %s answers queries against the current thread only;\n"+
+				" after a completed run every thread relates as \"precedes\")\n", *backend)
+		}
+		ids := sp.Replay(tree, m)
 		threads := tree.Threads()
 		u1, u4, u6 := threads[1], threads[4], threads[6]
-		fmt.Printf("SP-order: u1 ≺ u4 ? %v   (paper: true, lca S1 is an S-node)\n", sp.Precedes(u1, u4))
-		fmt.Printf("SP-order: u1 ∥ u6 ? %v   (paper: true, lca P1 is a P-node)\n", sp.Parallel(u1, u6))
+		fmt.Printf("%s: u1 ≺ u4 ? %v   (paper: true, lca S1 is an S-node)\n",
+			*backend, m.Relation(ids.Leaf(u1), ids.Leaf(u4)) == sp.Precedes)
+		fmt.Printf("%s: u1 ∥ u6 ? %v   (paper: true, lca P1 is a P-node)\n",
+			*backend, m.Relation(ids.Leaf(u1), ids.Leaf(u6)) == sp.Parallel)
 	} else {
-		demoRelations(tree)
+		demoRelations(tree, *backend)
 	}
 }
 
-// demoRelations prints the relation matrix of the first few threads.
-func demoRelations(tree *repro.Tree) {
-	o := repro.NewOracle(tree)
+// demoRelations prints the relation matrix of the first few threads, as
+// answered by the selected backend through the event API. Backends that
+// only answer queries against the current thread (sp-bags) cannot relate
+// two retired threads, so the ground-truth oracle answers for them.
+func demoRelations(tree *repro.Tree, backend string) {
 	threads := tree.Threads()
 	n := len(threads)
 	if n > 8 {
 		n = 8
 	}
-	fmt.Println("Relation matrix (first", n, "threads; p=precedes, f=follows, |=parallel):")
+	var relate func(u, v *spt.Node) string
+	if info, _ := sp.Lookup(backend); !info.FullQueries {
+		fmt.Printf("(%s answers queries against the current thread only; matrix uses the LCA oracle)\n", backend)
+		o := repro.NewOracle(tree)
+		relate = func(u, v *spt.Node) string {
+			switch o.Relate(u, v) {
+			case spt.Precedes:
+				return "p"
+			case spt.Follows:
+				return "f"
+			case spt.Parallel:
+				return "|"
+			default:
+				return "."
+			}
+		}
+	} else {
+		m, err := sp.NewMonitor(sp.WithBackend(backend), sp.WithRaceDetection(false))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ids := sp.Replay(tree, m)
+		relate = func(u, v *spt.Node) string {
+			switch m.Relation(ids.Leaf(u), ids.Leaf(v)) {
+			case sp.Precedes:
+				return "p"
+			case sp.Follows:
+				return "f"
+			case sp.Parallel:
+				return "|"
+			default:
+				return "=" // same maximal serial block
+			}
+		}
+	}
+	fmt.Printf("Relation matrix per %s (first %d threads; p=precedes, f=follows, |=parallel, ==same serial block):\n",
+		backend, n)
 	fmt.Printf("      ")
 	for j := 0; j < n; j++ {
 		fmt.Printf("%6s", threads[j].Label)
@@ -85,14 +152,9 @@ func demoRelations(tree *repro.Tree) {
 	for i := 0; i < n; i++ {
 		fmt.Printf("%6s", threads[i].Label)
 		for j := 0; j < n; j++ {
-			c := "."
-			switch o.Relate(threads[i], threads[j]) {
-			case spt.Precedes:
-				c = "p"
-			case spt.Follows:
-				c = "f"
-			case spt.Parallel:
-				c = "|"
+			c := relate(threads[i], threads[j])
+			if threads[i] == threads[j] {
+				c = "."
 			}
 			fmt.Printf("%6s", c)
 		}

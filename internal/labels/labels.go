@@ -75,6 +75,18 @@ func LabelEnglishHebrew(t *spt.Tree) *EnglishHebrew {
 	return eh
 }
 
+// CompareHebrew lexicographically compares two Hebrew label vectors:
+// negative when a orders before b, positive when after, zero when equal.
+// It is exported for the event-driven English-Hebrew backend in package
+// sp, which generates labels from fork/join events instead of a tree walk
+// but compares them identically.
+func CompareHebrew(a, b []int32) int { return compareVec(a, b) }
+
+// RelateOffsetSpan compares two offset-span labels: -1 (first precedes),
+// +1 (first follows), 0 (parallel). It is exported for the event-driven
+// offset-span backend in package sp.
+func RelateOffsetSpan(a, b []OSPair) int { return relateOS(a, b) }
+
 // compareVec lexicographically compares two int32 vectors.
 func compareVec(a, b []int32) int {
 	n := len(a)

@@ -4,83 +4,20 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/core"
 	"repro/internal/spt"
+	"repro/sp"
 )
 
 // The paper notes (Section 1) that "corresponding improved bounds can
 // also be obtained for more sophisticated data-race detectors, for
-// example, those that use locks." This file implements such a detector in
-// the style of ALL-SETS (Cheng, Feng, Leiserson, Randall, Stark 1998): an
-// access is racy only if a logically parallel conflicting access exists
-// whose lock set is disjoint from the current one. SP relationships come
-// from SP-order, so each SP query is O(1) and the run costs O(T1·L) for
-// lock sets of size ≤ L.
+// example, those that use locks." The ALL-SETS-style protocol (Cheng,
+// Feng, Leiserson, Randall, Stark 1998) lives in sp.Monitor behind
+// WithLockAwareness: an access is racy only if a logically parallel
+// conflicting access exists whose lock set is disjoint from the current
+// one. This file adapts it back to the tree-replay surface.
 
 // LockSet is a canonicalized (sorted, deduplicated) set of mutex IDs.
-type LockSet []int
-
-// newLockSet canonicalizes a multiset of held locks.
-func newLockSet(held map[int]int) LockSet {
-	ls := make(LockSet, 0, len(held))
-	for m, n := range held {
-		if n > 0 {
-			ls = append(ls, m)
-		}
-	}
-	sort.Ints(ls)
-	return ls
-}
-
-// Disjoint reports whether the two lock sets share no mutex.
-func (a LockSet) Disjoint(b LockSet) bool {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			return false
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return true
-}
-
-func (a LockSet) String() string {
-	if len(a) == 0 {
-		return "{}"
-	}
-	s := "{"
-	for i, m := range a {
-		if i > 0 {
-			s += ","
-		}
-		s += fmt.Sprintf("m%d", m)
-	}
-	return s + "}"
-}
-
-// lockEntry is one recorded access in the ALL-SETS shadow space.
-type lockEntry struct {
-	u     *spt.Node
-	write bool
-	locks LockSet
-}
-
-// Equal reports whether two lock sets contain the same mutexes.
-func (a LockSet) Equal(b LockSet) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
+type LockSet = sp.LockSet
 
 // LockRace is a data race under lock-aware semantics: parallel,
 // conflicting, and with disjoint lock sets.
@@ -104,80 +41,38 @@ type LockReport struct {
 	Accesses  int64
 }
 
-// DetectLockAware replays tree t serially with SP-order maintaining SP
-// relationships and ALL-SETS-style lock-set filtering: a pair of parallel
-// conflicting accesses races only if the lock sets held at the two
-// accesses are disjoint. Locks are acquired and released by Acquire and
-// Release steps within each thread; locks still held at the end of a
-// thread are released implicitly (a thread is a maximal serial block, so
-// a critical section never spans threads in this model).
+// DetectLockAware replays tree t serially through an sp.Monitor with
+// SP-order maintaining SP relationships and ALL-SETS-style lock-set
+// filtering: a pair of parallel conflicting accesses races only if the
+// lock sets held at the two accesses are disjoint. Locks are acquired
+// and released by Acquire and Release steps within each thread; locks
+// still held at the end of a thread are released implicitly (a thread is
+// a maximal serial block, so a critical section never spans threads in
+// this model).
 func DetectLockAware(t *spt.Tree) LockReport {
-	sp := core.NewSPOrder(t)
-	entries := map[int][]lockEntry{}
-	var races []LockRace
-	var accesses int64
-
-	sp.Run(func(u *spt.Node) {
-		held := map[int]int{}
-		for _, st := range u.Steps {
-			switch st.Op {
-			case spt.Acquire:
-				held[st.Loc]++
-			case spt.Release:
-				if held[st.Loc] == 0 {
-					panic(fmt.Sprintf("race: release of unheld mutex m%d in %s", st.Loc, u))
-				}
-				held[st.Loc]--
-			case spt.Read, spt.Write:
-				accesses++
-				cur := newLockSet(held)
-				w := st.Op == spt.Write
-				for _, e := range entries[st.Loc] {
-					if e.u == u || !(w || e.write) {
-						continue
-					}
-					if !sp.Parallel(e.u, u) {
-						continue
-					}
-					if !e.locks.Disjoint(cur) {
-						continue
-					}
-					kind := WriteWrite
-					switch {
-					case e.write && !w:
-						kind = WriteRead
-					case !e.write && w:
-						kind = ReadWrite
-					}
-					races = append(races, LockRace{
-						Loc: st.Loc, Kind: kind,
-						First: e.u, Second: u,
-						FirstLocks: e.locks, SecondLocks: cur,
-					})
-				}
-				// Record the access unless an identical entry
-				// (same thread, kind, lock set) exists.
-				dup := false
-				for _, e := range entries[st.Loc] {
-					if e.u == u && e.write == w && e.locks.Equal(cur) {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					entries[st.Loc] = append(entries[st.Loc], lockEntry{u, w, cur})
-				}
-			}
-		}
-	})
+	m, err := sp.NewMonitor(sp.WithBackend("sp-order"), sp.WithLockAwareness(true))
+	if err != nil {
+		panic(fmt.Sprintf("race: %v", err))
+	}
+	sp.Replay(t, m)
+	rep := m.Report()
+	races := make([]LockRace, 0, len(rep.Races))
 	locSet := map[int]bool{}
-	for _, r := range races {
-		locSet[r.Loc] = true
+	for _, r := range rep.Races {
+		races = append(races, LockRace{
+			Loc:         int(r.Addr),
+			Kind:        r.Kind,
+			First:       r.FirstSite.(*spt.Node),
+			Second:      r.SecondSite.(*spt.Node),
+			FirstLocks:  r.FirstLocks,
+			SecondLocks: r.SecondLocks,
+		})
+		locSet[int(r.Addr)] = true
 	}
 	locs := make([]int, 0, len(locSet))
 	for l := range locSet {
 		locs = append(locs, l)
 	}
 	sort.Ints(locs)
-	return LockReport{Races: races, Locations: locs, Accesses: accesses}
+	return LockReport{Races: races, Locations: locs, Accesses: rep.Accesses}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/shadow"
 	"repro/internal/spt"
 )
 
@@ -31,7 +32,7 @@ type NaiveReport struct {
 // shared, fully locked SP-order structure.
 type naiveClient struct {
 	l     *core.LockedSPOrder
-	sh    *shadow
+	sh    *shadow.Memory[*spt.Node]
 	yield bool
 
 	mu       sync.Mutex
@@ -56,8 +57,8 @@ type naiveRel struct {
 	cur *spt.Node
 }
 
-func (r *naiveRel) precedesCurrent(u *spt.Node) bool { return r.l.Precedes(u, r.cur) }
-func (r *naiveRel) parallelCurrent(u *spt.Node) bool { return r.l.Parallel(u, r.cur) }
+func (r *naiveRel) PrecedesCurrent(u *spt.Node) bool { return r.l.Precedes(u, r.cur) }
+func (r *naiveRel) ParallelCurrent(u *spt.Node) bool { return r.l.Parallel(u, r.cur) }
 
 func (c *naiveClient) ExecThread(w int, f *sched.Frame, leaf *spt.Node) {
 	// Expand the shared structure up to this thread (OM-INSERTs under
@@ -68,16 +69,15 @@ func (c *naiveClient) ExecThread(w int, f *sched.Frame, leaf *spt.Node) {
 		switch st.Op {
 		case spt.Read, spt.Write:
 			c.accesses.Add(1)
-			cell := c.sh.cellFor(st.Loc)
-			lk := c.sh.lockLoc(st.Loc)
+			cell := c.sh.Cell(uint64(st.Loc))
+			unlock := c.sh.Lock(uint64(st.Loc))
 			var q int64
-			r := onAccess(cell, rel, leaf, st.Op == spt.Write, &q)
-			lk.Unlock()
+			found := shadow.OnAccess(cell, rel, leaf, nil, st.Op == spt.Write, &q)
+			unlock()
 			c.queries.Add(q)
-			if r != nil {
-				r.Loc = st.Loc
+			if found != nil {
 				c.mu.Lock()
-				c.races = append(c.races, *r)
+				c.races = append(c.races, Race{Loc: st.Loc, Kind: found.Kind, First: found.Prev, Second: leaf})
 				c.mu.Unlock()
 			}
 		}
@@ -95,7 +95,7 @@ func (c *naiveClient) ExecThread(w int, f *sched.Frame, leaf *spt.Node) {
 func DetectParallelNaive(t *spt.Tree, workers int, seed int64, yield bool) NaiveReport {
 	c := &naiveClient{
 		l:     core.NewLockedSPOrder(t),
-		sh:    newShadow(),
+		sh:    shadow.NewMemory[*spt.Node](64),
 		yield: yield,
 	}
 	s := sched.New(workers, c, seed)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/shadow"
 	"repro/internal/sphybrid"
 	"repro/internal/spt"
 )
@@ -17,8 +18,8 @@ type hybridRel struct {
 	cur *spt.Node
 }
 
-func (r *hybridRel) precedesCurrent(u *spt.Node) bool { return r.h.Precedes(u, r.cur) }
-func (r *hybridRel) parallelCurrent(u *spt.Node) bool { return r.h.Parallel(u, r.cur) }
+func (r *hybridRel) PrecedesCurrent(u *spt.Node) bool { return r.h.Precedes(u, r.cur) }
+func (r *hybridRel) ParallelCurrent(u *spt.Node) bool { return r.h.Parallel(u, r.cur) }
 
 // ParallelReport extends Report with the SP-hybrid run statistics.
 type ParallelReport struct {
@@ -27,13 +28,19 @@ type ParallelReport struct {
 }
 
 // DetectParallel replays tree t under the work-stealing scheduler on the
-// given number of workers, with SP-hybrid maintaining SP relationships
-// and a lock-striped shadow memory applying the Nondeterminator protocol.
-// The tree must be canonical (spt.Canonicalize arbitrary trees first and
-// detect on the canonical copy). yield inserts a scheduling yield after
-// every thread, which single-CPU hosts need to exhibit steals.
+// given number of workers, with the scheduler-coupled SP-hybrid
+// maintaining SP relationships and a lock-striped shadow memory applying
+// the Nondeterminator protocol (internal/shadow). The tree must be
+// canonical (spt.Canonicalize arbitrary trees first and detect on the
+// canonical copy). yield inserts a scheduling yield after every thread,
+// which single-CPU hosts need to exhibit steals.
+//
+// For live (non-replay) parallel monitoring, use sp.Monitor with the
+// "sp-hybrid" backend instead; this entry point exists to reproduce the
+// paper's scheduler-dependent statistics (steals, splits, query
+// retries).
 func DetectParallel(t *spt.Tree, workers int, seed int64, yield bool) ParallelReport {
-	sh := newShadow()
+	sh := shadow.NewMemory[*spt.Node](64)
 	var mu sync.Mutex
 	var races []Race
 	var accesses, queries int64
@@ -45,16 +52,15 @@ func DetectParallel(t *spt.Tree, workers int, seed int64, yield bool) ParallelRe
 			switch st.Op {
 			case spt.Read, spt.Write:
 				atomic.AddInt64(&accesses, 1)
-				c := sh.cellFor(st.Loc)
-				lk := sh.lockLoc(st.Loc)
+				c := sh.Cell(uint64(st.Loc))
+				unlock := sh.Lock(uint64(st.Loc))
 				var q int64
-				r := onAccess(c, rel, u, st.Op == spt.Write, &q)
-				lk.Unlock()
+				found := shadow.OnAccess(c, rel, u, nil, st.Op == spt.Write, &q)
+				unlock()
 				atomic.AddInt64(&queries, q)
-				if r != nil {
-					r.Loc = st.Loc
+				if found != nil {
 					mu.Lock()
-					races = append(races, *r)
+					races = append(races, Race{Loc: st.Loc, Kind: found.Kind, First: found.Prev, Second: u})
 					mu.Unlock()
 				}
 			}

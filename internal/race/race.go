@@ -5,57 +5,42 @@
 //
 // A determinacy race occurs when two logically parallel threads access
 // the same shared-memory location and at least one access is a write.
-// The detector replays each thread's synthetic instruction trace
-// (spt.Step) while an SP-maintenance structure answers, for the currently
-// executing thread, whether a previous accessor runs logically in series
-// or in parallel.
+// The serial and lock-aware detectors in this package are thin adapters
+// over the event-driven sp.Monitor: the parse tree's synthetic
+// instruction traces (spt.Step) are replayed through sp.Replay, so the
+// detectors exercise exactly the same event API a live program would,
+// with the backend selected from sp's registry. The shadow-memory
+// protocol itself lives in internal/shadow (the Nondeterminator
+// discipline: last writer plus one reader per location), shared with the
+// parallel detectors that drive the work-stealing scheduler directly.
 //
-// Shadow memory follows the Nondeterminator discipline: each location
-// keeps its last writer and one reader (the reader is replaced only when
-// the new reader is serially after the old one). This guarantees that a
-// race is reported for a location if and only if some race exists on that
-// location — the property TestDetectorsMatchFullHistory verifies against
-// a full-history checker.
-//
-// The package provides serial detectors over any backend (SP-order,
-// SP-bags, and the static English-Hebrew/offset-span labelers), a
-// parallel detector over SP-hybrid, and a lock-aware detector in the
-// style of ALL-SETS.
+// The package provides serial detectors over any registered backend
+// (SP-order, SP-bags, the static English-Hebrew/offset-span labelers,
+// and friends), a parallel detector over the scheduler-coupled
+// SP-hybrid, a lock-aware detector in the style of ALL-SETS, and the
+// quadratic full-history ground-truth checker.
 package race
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 
+	"repro/internal/shadow"
 	"repro/internal/spt"
 )
 
 // AccessKind distinguishes the two accesses of a reported race.
-type AccessKind uint8
+type AccessKind = shadow.AccessKind
 
+// Access patterns, re-exported from the shared shadow protocol.
 const (
 	// WriteWrite: both accesses are writes.
-	WriteWrite AccessKind = iota
+	WriteWrite = shadow.WriteWrite
 	// WriteRead: the earlier access is a write, the later a read.
-	WriteRead
+	WriteRead = shadow.WriteRead
 	// ReadWrite: the earlier access is a read, the later a write.
-	ReadWrite
+	ReadWrite = shadow.ReadWrite
 )
-
-// String names the access pattern.
-func (k AccessKind) String() string {
-	switch k {
-	case WriteWrite:
-		return "write-write"
-	case WriteRead:
-		return "write-read"
-	case ReadWrite:
-		return "read-write"
-	default:
-		return fmt.Sprintf("AccessKind(%d)", uint8(k))
-	}
-}
 
 // Race records one detected determinacy race: two logically parallel
 // threads touching the same location, at least one writing.
@@ -93,87 +78,4 @@ func buildReport(races []Race, accesses, queries int64) Report {
 	}
 	sort.Ints(locs)
 	return Report{Races: races, Locations: locs, Accesses: accesses, Queries: queries}
-}
-
-// cell is one shadow-memory slot.
-type cell struct {
-	writer *spt.Node
-	reader *spt.Node
-}
-
-// shadow is the Nondeterminator shadow memory. The serial detectors use
-// it unlocked; the parallel detector guards each cell with a striped
-// mutex.
-type shadow struct {
-	cells map[int]*cell
-	mus   []sync.Mutex // striping for the parallel detector
-	mapMu sync.Mutex
-}
-
-func newShadow() *shadow {
-	return &shadow{cells: map[int]*cell{}, mus: make([]sync.Mutex, 64)}
-}
-
-func (s *shadow) cellFor(loc int) *cell {
-	s.mapMu.Lock()
-	c := s.cells[loc]
-	if c == nil {
-		c = &cell{}
-		s.cells[loc] = c
-	}
-	s.mapMu.Unlock()
-	return c
-}
-
-func (s *shadow) lockLoc(loc int) *sync.Mutex {
-	m := &s.mus[uint(loc)%uint(len(s.mus))]
-	m.Lock()
-	return m
-}
-
-// relative answers SP queries of a previous accessor against the
-// currently executing thread.
-type relative interface {
-	precedesCurrent(u *spt.Node) bool
-	parallelCurrent(u *spt.Node) bool
-}
-
-// onAccess applies the Nondeterminator protocol for one access by the
-// current thread. It returns the race found, if any. The caller must hold
-// the location's lock in parallel mode.
-func onAccess(c *cell, rel relative, cur *spt.Node, write bool, queries *int64) *Race {
-	var found *Race
-	if write {
-		if c.writer != nil {
-			*queries++
-			if rel.parallelCurrent(c.writer) {
-				found = &Race{Kind: WriteWrite, First: c.writer, Second: cur}
-			}
-		}
-		if found == nil && c.reader != nil && c.reader != cur {
-			*queries++
-			if rel.parallelCurrent(c.reader) {
-				found = &Race{Kind: ReadWrite, First: c.reader, Second: cur}
-			}
-		}
-		c.writer = cur
-		return found
-	}
-	// Read access.
-	if c.writer != nil && c.writer != cur {
-		*queries++
-		if rel.parallelCurrent(c.writer) {
-			found = &Race{Kind: WriteRead, First: c.writer, Second: cur}
-		}
-	}
-	// Keep the old reader unless it serially precedes the new one.
-	if c.reader == nil {
-		c.reader = cur
-	} else if c.reader != cur {
-		*queries++
-		if rel.precedesCurrent(c.reader) {
-			c.reader = cur
-		}
-	}
-	return found
 }

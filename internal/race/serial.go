@@ -1,13 +1,16 @@
 package race
 
 import (
+	"fmt"
+
 	"repro/internal/core"
-	"repro/internal/labels"
 	"repro/internal/spt"
+	"repro/sp"
 )
 
 // Backend selects the SP-maintenance algorithm backing a serial detection
-// run — the four rows of Figure 3.
+// run — the four rows of Figure 3. It is kept for the legacy facade;
+// DetectSerialBackend selects any registered sp backend by name.
 type Backend uint8
 
 const (
@@ -40,116 +43,56 @@ func (b Backend) String() string {
 	}
 }
 
-// querierRel adapts a full Querier (SP-order, labelers) to the
-// current-thread interface used by the shadow protocol.
-type querierRel struct {
-	precedes func(u, v *spt.Node) bool
-	parallel func(u, v *spt.Node) bool
-	cur      *spt.Node
-}
-
-func (q *querierRel) precedesCurrent(u *spt.Node) bool { return q.precedes(u, q.cur) }
-func (q *querierRel) parallelCurrent(u *spt.Node) bool { return q.parallel(u, q.cur) }
-
-// bagsRel adapts SP-bags.
-type bagsRel struct{ b *core.SPBags }
-
-func (r bagsRel) precedesCurrent(u *spt.Node) bool { return r.b.PrecedesCurrent(u) }
-func (r bagsRel) parallelCurrent(u *spt.Node) bool { return r.b.ParallelCurrent(u) }
-
-// DetectSerial replays tree t serially (left-to-right) with the chosen
-// backend and reports every determinacy race the Nondeterminator protocol
-// detects. The SPBags backend requires a canonical tree and canonicalizes
-// internally when needed (remapping thread identities transparently).
-func DetectSerial(t *spt.Tree, backend Backend) Report {
-	switch backend {
-	case SPBags:
-		return detectSPBags(t)
+// RegistryName returns the backend's name in sp's backend registry.
+func (b Backend) RegistryName() string {
+	switch b {
 	case SPOrder:
-		sp := core.NewSPOrder(t)
-		rel := &querierRel{precedes: sp.Precedes, parallel: sp.Parallel}
-		return detectWithWalk(t, rel, func(exec core.ThreadFunc) { sp.Run(exec) })
+		return "sp-order"
+	case SPBags:
+		return "sp-bags"
 	case EnglishHebrew:
-		eh := labels.LabelEnglishHebrew(t)
-		rel := &querierRel{precedes: eh.Precedes, parallel: eh.Parallel}
-		return detectWithWalk(t, rel, func(exec core.ThreadFunc) {
-			core.SerialWalk(t, nil, exec)
-		})
+		return "english-hebrew"
 	case OffsetSpan:
-		os := labels.LabelOffsetSpan(t)
-		rel := &querierRel{precedes: os.Precedes, parallel: os.Parallel}
-		return detectWithWalk(t, rel, func(exec core.ThreadFunc) {
-			core.SerialWalk(t, nil, exec)
-		})
+		return "offset-span"
 	default:
 		panic("race: unknown backend")
 	}
 }
 
-// detectWithWalk drives a full-querier backend through the serial walk.
-func detectWithWalk(t *spt.Tree, rel *querierRel, run func(core.ThreadFunc)) Report {
-	sh := newShadow()
-	var races []Race
-	var accesses, queries int64
-	run(func(u *spt.Node) {
-		rel.cur = u
-		for _, st := range u.Steps {
-			switch st.Op {
-			case spt.Read, spt.Write:
-				accesses++
-				c := sh.cellFor(st.Loc)
-				if r := onAccess(c, rel, u, st.Op == spt.Write, &queries); r != nil {
-					r.Loc = st.Loc
-					races = append(races, *r)
-				}
-			}
-		}
-	})
-	return buildReport(races, accesses, queries)
+// DetectSerial replays tree t serially (left-to-right) with the chosen
+// backend and reports every determinacy race the Nondeterminator protocol
+// detects.
+func DetectSerial(t *spt.Tree, backend Backend) Report {
+	return DetectSerialBackend(t, backend.RegistryName())
 }
 
-// detectSPBags canonicalizes, runs SP-bags, and reports races in terms of
-// the ORIGINAL tree's threads.
-func detectSPBags(t *spt.Tree) Report {
-	canon := t
-	reverse := map[*spt.Node]*spt.Node{}
-	if !spt.IsCanonical(t) {
-		var fwd map[int]*spt.Node
-		canon, fwd = spt.Canonicalize(t)
-		for origID, copyNode := range fwd {
-			reverse[copyNode] = t.Node(origID)
-		}
+// DetectSerialBackend is DetectSerial with the backend selected by sp
+// registry name. The tree's trace is translated into fork/join/access
+// events and driven through an sp.Monitor, so every backend sees the
+// same event stream a live serial program would produce. It panics on an
+// unknown backend name.
+func DetectSerialBackend(t *spt.Tree, name string) Report {
+	m, err := sp.NewMonitor(sp.WithBackend(name))
+	if err != nil {
+		panic(fmt.Sprintf("race: %v", err))
 	}
-	b := core.NewSPBags(canon)
-	sh := newShadow()
-	var races []Race
-	var accesses, queries int64
-	rel := bagsRel{b}
-	b.Run(func(u *spt.Node) {
-		for _, st := range u.Steps {
-			switch st.Op {
-			case spt.Read, spt.Write:
-				accesses++
-				c := sh.cellFor(st.Loc)
-				if r := onAccess(c, rel, u, st.Op == spt.Write, &queries); r != nil {
-					r.Loc = st.Loc
-					races = append(races, *r)
-				}
-			}
-		}
-	})
-	// Remap to original threads where a mapping exists.
-	if len(reverse) > 0 {
-		for i := range races {
-			if o := reverse[races[i].First]; o != nil {
-				races[i].First = o
-			}
-			if o := reverse[races[i].Second]; o != nil {
-				races[i].Second = o
-			}
-		}
+	sp.Replay(t, m)
+	return convertReport(m.Report())
+}
+
+// convertReport maps an sp.Report (thread IDs plus parse-tree-node
+// sites) back to the node-level Report this package's callers consume.
+func convertReport(rep sp.Report) Report {
+	races := make([]Race, 0, len(rep.Races))
+	for _, r := range rep.Races {
+		races = append(races, Race{
+			Loc:    int(r.Addr),
+			Kind:   r.Kind,
+			First:  r.FirstSite.(*spt.Node),
+			Second: r.SecondSite.(*spt.Node),
+		})
 	}
-	return buildReport(races, accesses, queries)
+	return buildReport(races, rep.Accesses, rep.Queries)
 }
 
 // FullHistory is the exhaustive ground-truth checker: it records every

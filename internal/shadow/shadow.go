@@ -1,0 +1,153 @@
+// Package shadow implements the Nondeterminator shadow-memory protocol
+// (Feng–Leiserson 1997) shared by every race-detection frontend in this
+// repository: each shared-memory location keeps its last writer and one
+// reader, and the reader is replaced only when the new reader is serially
+// after the old one. This guarantees that a race is reported for a
+// location if and only if some race exists on that location, provided the
+// backing SP-maintenance structure answers precedes/parallel queries
+// correctly.
+//
+// The protocol is generic over the accessor identity A so that the
+// tree-replay detectors (internal/race, A = *spt.Node) and the
+// event-driven monitor (package sp, A = sp.ThreadID) share one
+// implementation instead of the per-backend replay loops the repository
+// used to duplicate.
+package shadow
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AccessKind distinguishes the two accesses of a reported race.
+type AccessKind uint8
+
+const (
+	// WriteWrite: both accesses are writes.
+	WriteWrite AccessKind = iota
+	// WriteRead: the earlier access is a write, the later a read.
+	WriteRead
+	// ReadWrite: the earlier access is a read, the later a write.
+	ReadWrite
+)
+
+// String names the access pattern.
+func (k AccessKind) String() string {
+	switch k {
+	case WriteWrite:
+		return "write-write"
+	case WriteRead:
+		return "write-read"
+	case ReadWrite:
+		return "read-write"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", uint8(k))
+	}
+}
+
+// Relative answers SP queries of a previous accessor against the
+// currently executing accessor.
+type Relative[A comparable] interface {
+	// PrecedesCurrent reports prev ≺ current.
+	PrecedesCurrent(prev A) bool
+	// ParallelCurrent reports prev ∥ current.
+	ParallelCurrent(prev A) bool
+}
+
+// Cell is one shadow-memory slot: the location's last writer and the one
+// retained reader, each with an optional user site (e.g. the source
+// thread of a replayed trace) carried into race reports.
+type Cell[A comparable] struct {
+	hasWriter, hasReader bool
+	writer, reader       A
+	writerSite           any
+	readerSite           any
+}
+
+// Found reports the race detected by one application of the protocol.
+type Found[A comparable] struct {
+	Kind     AccessKind
+	Prev     A
+	PrevSite any
+}
+
+// OnAccess applies the Nondeterminator protocol for one access by cur
+// (with optional site metadata). It returns the race found, if any, and
+// adds the number of SP queries issued to *queries. The caller must hold
+// the cell's lock when accessors run concurrently.
+func OnAccess[A comparable](c *Cell[A], rel Relative[A], cur A, site any, write bool, queries *int64) *Found[A] {
+	var found *Found[A]
+	if write {
+		if c.hasWriter && c.writer != cur {
+			*queries++
+			if rel.ParallelCurrent(c.writer) {
+				found = &Found[A]{Kind: WriteWrite, Prev: c.writer, PrevSite: c.writerSite}
+			}
+		}
+		if found == nil && c.hasReader && c.reader != cur {
+			*queries++
+			if rel.ParallelCurrent(c.reader) {
+				found = &Found[A]{Kind: ReadWrite, Prev: c.reader, PrevSite: c.readerSite}
+			}
+		}
+		c.hasWriter = true
+		c.writer, c.writerSite = cur, site
+		return found
+	}
+	// Read access.
+	if c.hasWriter && c.writer != cur {
+		*queries++
+		if rel.ParallelCurrent(c.writer) {
+			found = &Found[A]{Kind: WriteRead, Prev: c.writer, PrevSite: c.writerSite}
+		}
+	}
+	// Keep the old reader unless it serially precedes the new one.
+	if !c.hasReader {
+		c.hasReader = true
+		c.reader, c.readerSite = cur, site
+	} else if c.reader != cur {
+		*queries++
+		if rel.PrecedesCurrent(c.reader) {
+			c.reader, c.readerSite = cur, site
+		}
+	}
+	return found
+}
+
+// Memory is a shadow-memory table keyed by location address, with striped
+// per-location locks for parallel detectors. Serial detectors may skip
+// Lock entirely.
+type Memory[A comparable] struct {
+	mapMu sync.Mutex
+	cells map[uint64]*Cell[A]
+	locks []sync.Mutex
+}
+
+// NewMemory returns an empty shadow memory with the given number of lock
+// stripes (minimum 1).
+func NewMemory[A comparable](stripes int) *Memory[A] {
+	if stripes < 1 {
+		stripes = 1
+	}
+	return &Memory[A]{cells: map[uint64]*Cell[A]{}, locks: make([]sync.Mutex, stripes)}
+}
+
+// Cell returns (creating if needed) the shadow slot for addr.
+func (m *Memory[A]) Cell(addr uint64) *Cell[A] {
+	m.mapMu.Lock()
+	c := m.cells[addr]
+	if c == nil {
+		c = &Cell[A]{}
+		m.cells[addr] = c
+	}
+	m.mapMu.Unlock()
+	return c
+}
+
+// Lock acquires the stripe lock covering addr and returns the unlock
+// function.
+func (m *Memory[A]) Lock(addr uint64) func() {
+	mu := &m.locks[addr%uint64(len(m.locks))]
+	mu.Lock()
+	return mu.Unlock
+}

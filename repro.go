@@ -23,6 +23,17 @@
 // "repro". See the examples/ directory for runnable programs and
 // bench_test.go for the reproduction of every table and figure in the
 // paper's evaluation.
+//
+// Deprecated: this facade is replay-oriented — every entry point
+// consumes a pre-built SP parse tree. New code should use the
+// event-driven product API in repro/sp, which monitors fork/join/access
+// events on the fly (no parse tree required), selects SP-maintenance
+// backends from a registry by name, and subsumes the detectors here
+// (DetectSerial and DetectLockAware are now thin adapters over
+// sp.Monitor plus sp.Replay). The tree model, generators, serial
+// engines, and the scheduler-coupled SP-hybrid remain supported for
+// replaying and benchmarking the paper's experiments; the key sp types
+// are re-exported below to ease migration.
 package repro
 
 import (
@@ -34,6 +45,41 @@ import (
 	"repro/internal/sphybrid"
 	"repro/internal/spt"
 	"repro/internal/workload"
+	"repro/sp"
+)
+
+// Event-driven product API (repro/sp). These re-exports are provided for
+// migration; new code should import "repro/sp" directly.
+type (
+	// Monitor maintains SP relationships over a live event stream.
+	Monitor = sp.Monitor
+	// ThreadID identifies one thread (maximal serial block).
+	ThreadID = sp.ThreadID
+	// Maintainer is the pluggable SP-maintenance backend interface.
+	Maintainer = sp.Maintainer
+	// BackendInfo describes a registered backend.
+	BackendInfo = sp.BackendInfo
+	// MonitorOption configures a Monitor.
+	MonitorOption = sp.Option
+	// MonitorReport is the outcome of a monitoring run.
+	MonitorReport = sp.Report
+)
+
+var (
+	// NewMonitor creates an event-driven SP monitor.
+	NewMonitor = sp.NewMonitor
+	// WithBackend, WithWorkers, WithRaceDetection, and WithLockAwareness
+	// configure a Monitor.
+	WithBackend       = sp.WithBackend
+	WithWorkers       = sp.WithWorkers
+	WithRaceDetection = sp.WithRaceDetection
+	WithLockAwareness = sp.WithLockAwareness
+	// RegisteredBackends lists the SP-maintenance backends by name.
+	RegisteredBackends = sp.Backends
+	// Replay drives a Monitor through a parse tree's event stream.
+	Replay = sp.Replay
+	// ReplayParallel replays with real goroutine concurrency.
+	ReplayParallel = sp.ReplayParallel
 )
 
 // Parse-tree model (internal/spt).

@@ -1,0 +1,197 @@
+package sp
+
+import (
+	"fmt"
+
+	"repro/internal/labels"
+)
+
+// This file adapts the two static labeling baselines of Figure 3 — the
+// English-Hebrew scheme of Nudler–Rudolph and the offset-span scheme of
+// Mellor-Crummey — to the event API. Both schemes generate a thread's
+// label from its creator's label at the structural event that creates
+// it, so the tree-walk context stack of internal/labels collapses to
+// per-thread labels plus two local rules:
+//
+//   - Fork(u) → (l, r): advance u's label past its completed block (the
+//     walk's post-leaf bump), then extend it with the two branch
+//     components — EH appends (tag, fresh counter) with the left branch
+//     tagged Hebrew-later; offset-span appends [i, 2] pairs.
+//   - Join(a, b) → c: strip the branch components off the continuation
+//     terminal b's label (recovering the fork's saved context — serial
+//     successors only ever modify the last component) and advance.
+//
+// The English half of the EH scheme is the thread's execution index,
+// maintained by the Begin counter, so — like the original on-the-fly
+// labeling pass — these backends require the serial depth-first event
+// order. Labels never change once generated; their weakness, and the
+// reason SP-order beats them, is that label length (and thus query cost)
+// grows with fork nesting.
+
+// englishHebrew is the event-driven Nudler–Rudolph backend.
+type englishHebrew struct {
+	eng     []int64
+	heb     [][]int32
+	counter int64
+}
+
+func newEnglishHebrew() Maintainer { return &englishHebrew{} }
+
+func (e *englishHebrew) grow(t ThreadID) {
+	for int(t) >= len(e.eng) {
+		e.eng = append(e.eng, 0)
+		e.heb = append(e.heb, nil)
+	}
+}
+
+// bumpHeb returns a copy of v with its trailing counter advanced.
+func bumpHeb(v []int32) []int32 {
+	out := make([]int32, len(v))
+	copy(out, v)
+	out[len(out)-1]++
+	return out
+}
+
+// extendHeb returns a copy of v with a branch tag and a fresh counter.
+func extendHeb(v []int32, tag int32) []int32 {
+	out := make([]int32, len(v)+2)
+	copy(out, v)
+	out[len(v)] = tag
+	return out
+}
+
+func (e *englishHebrew) Start(main ThreadID) {
+	e.grow(main)
+	e.heb[main] = []int32{0}
+}
+
+func (e *englishHebrew) Begin(t ThreadID) {
+	if e.eng[t] == 0 {
+		e.counter++
+		e.eng[t] = e.counter
+	}
+}
+
+func (e *englishHebrew) Fork(parent, left, right ThreadID) {
+	e.grow(right)
+	base := bumpHeb(e.heb[parent])
+	// Left (spawned) branch is Hebrew-later: tag 1; right earlier: tag 0.
+	e.heb[left] = extendHeb(base, 1)
+	e.heb[right] = extendHeb(base, 0)
+}
+
+func (e *englishHebrew) Join(left, right, cont ThreadID) {
+	e.grow(cont)
+	b := e.heb[right]
+	// Strip the branch components to recover the fork's context, then
+	// advance past the join.
+	e.heb[cont] = bumpHeb(b[:len(b)-2])
+}
+
+func (e *englishHebrew) indices(a, b ThreadID) (ea, eb int64) {
+	ea, eb = e.eng[a], e.eng[b]
+	if ea == 0 || eb == 0 {
+		panic(fmt.Sprintf("sp: english-hebrew query on a thread that has not begun (t%d, t%d)", a, b))
+	}
+	return
+}
+
+func (e *englishHebrew) Precedes(a, b ThreadID) bool {
+	ea, eb := e.indices(a, b)
+	return ea < eb && labels.CompareHebrew(e.heb[a], e.heb[b]) < 0
+}
+
+func (e *englishHebrew) Parallel(a, b ThreadID) bool {
+	if a == b {
+		return false
+	}
+	ea, eb := e.indices(a, b)
+	return (ea < eb) != (labels.CompareHebrew(e.heb[a], e.heb[b]) < 0)
+}
+
+// offsetSpan is the event-driven Mellor-Crummey backend.
+type offsetSpan struct {
+	lab [][]labels.OSPair
+}
+
+func newOffsetSpan() Maintainer { return &offsetSpan{} }
+
+func (o *offsetSpan) grow(t ThreadID) {
+	for int(t) >= len(o.lab) {
+		o.lab = append(o.lab, nil)
+	}
+}
+
+// advanceOS returns a copy of v with the last pair's offset advanced by
+// its span (the serial-successor rule).
+func advanceOS(v []labels.OSPair) []labels.OSPair {
+	out := make([]labels.OSPair, len(v))
+	copy(out, v)
+	out[len(out)-1].Offset += out[len(out)-1].Span
+	return out
+}
+
+// extendOS returns a copy of v extended with the pair [offset, 2].
+func extendOS(v []labels.OSPair, offset int64) []labels.OSPair {
+	out := make([]labels.OSPair, len(v)+1)
+	copy(out, v)
+	out[len(v)] = labels.OSPair{Offset: offset, Span: 2}
+	return out
+}
+
+func (o *offsetSpan) Start(main ThreadID) {
+	o.grow(main)
+	o.lab[main] = []labels.OSPair{{Offset: 0, Span: 1}}
+}
+
+func (o *offsetSpan) Begin(ThreadID) {}
+
+func (o *offsetSpan) Fork(parent, left, right ThreadID) {
+	o.grow(right)
+	base := advanceOS(o.lab[parent])
+	o.lab[left] = extendOS(base, 0)
+	o.lab[right] = extendOS(base, 1)
+}
+
+func (o *offsetSpan) Join(left, right, cont ThreadID) {
+	o.grow(cont)
+	b := o.lab[right]
+	// Pop the branch pair and advance past the join.
+	o.lab[cont] = advanceOS(b[:len(b)-1])
+}
+
+func (o *offsetSpan) labelsOf(a, b ThreadID) (la, lb []labels.OSPair) {
+	la, lb = o.lab[a], o.lab[b]
+	if la == nil || lb == nil {
+		panic(fmt.Sprintf("sp: offset-span query on unknown thread (t%d, t%d)", a, b))
+	}
+	return
+}
+
+func (o *offsetSpan) Precedes(a, b ThreadID) bool {
+	la, lb := o.labelsOf(a, b)
+	return labels.RelateOffsetSpan(la, lb) < 0
+}
+
+func (o *offsetSpan) Parallel(a, b ThreadID) bool {
+	if a == b {
+		return false
+	}
+	la, lb := o.labelsOf(a, b)
+	return labels.RelateOffsetSpan(la, lb) == 0
+}
+
+func init() {
+	Register(BackendInfo{
+		Name:        "english-hebrew",
+		Description: "static Nudler–Rudolph labels generated on the fly (Figure 3 baseline)",
+		UpdateBound: "O(f)", QueryBound: "O(f)", SpaceBound: "O(f) words",
+		FullQueries: true,
+	}, newEnglishHebrew)
+	Register(BackendInfo{
+		Name:        "offset-span",
+		Description: "static Mellor-Crummey offset-span labels generated on the fly (Figure 3 baseline)",
+		UpdateBound: "O(d)", QueryBound: "O(d)", SpaceBound: "O(d) words",
+		FullQueries: true,
+	}, newOffsetSpan)
+}

@@ -1,0 +1,519 @@
+package sp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/shadow"
+)
+
+// AccessKind distinguishes the two accesses of a reported race.
+type AccessKind = shadow.AccessKind
+
+// Access patterns of a race, re-exported from the shared protocol.
+const (
+	WriteWrite = shadow.WriteWrite
+	WriteRead  = shadow.WriteRead
+	ReadWrite  = shadow.ReadWrite
+)
+
+// Race is one detected determinacy race: two logically parallel threads
+// touching the same address, at least one writing. FirstSite/SecondSite
+// carry the optional per-access site metadata (ReadAt/WriteAt); the lock
+// sets are populated only under WithLockAwareness.
+type Race struct {
+	Addr          uint64
+	Kind          AccessKind
+	First, Second ThreadID
+	FirstSite     any
+	SecondSite    any
+	FirstLocks    LockSet
+	SecondLocks   LockSet
+}
+
+// String renders the race for reports.
+func (r Race) String() string {
+	name := func(t ThreadID, site any) string {
+		if site != nil {
+			return fmt.Sprint(site)
+		}
+		return fmt.Sprintf("t%d", t)
+	}
+	if r.FirstLocks != nil || r.SecondLocks != nil {
+		return fmt.Sprintf("%s race on x%d between %s%s and %s%s", r.Kind, r.Addr,
+			name(r.First, r.FirstSite), r.FirstLocks, name(r.Second, r.SecondSite), r.SecondLocks)
+	}
+	return fmt.Sprintf("%s race on x%d between %s and %s", r.Kind, r.Addr,
+		name(r.First, r.FirstSite), name(r.Second, r.SecondSite))
+}
+
+// Report is the final outcome of a monitoring run.
+type Report struct {
+	// Backend is the name of the SP-maintenance backend used.
+	Backend string
+	// Races lists every detected race in detection order.
+	Races []Race
+	// Locations is the deduplicated, sorted set of raced addresses.
+	Locations []uint64
+	// Threads, Forks, and Joins count the structural events seen.
+	Threads, Forks, Joins int64
+	// Accesses counts memory accesses; Queries counts SP queries issued
+	// (by the detection protocol and by Relation/Precedes/Parallel).
+	Accesses, Queries int64
+	// DroppedRaces counts races that did not fit in the Races() stream
+	// buffer or were detected by accesses still in flight when the
+	// stream closed. Buffer overflows still appear in Races; a race
+	// detected after this Report's snapshot appears in a subsequent
+	// Report's Races.
+	DroppedRaces int64
+}
+
+// lockEntry is one recorded access in the ALL-SETS shadow space.
+type lockEntry struct {
+	t     ThreadID
+	site  any
+	write bool
+	locks LockSet
+}
+
+// threadState is the Monitor's per-thread bookkeeping.
+type threadState struct {
+	begun   bool
+	retired bool
+	held    map[int]int // lock multiset; nil until first Acquire
+}
+
+type config struct {
+	backend    string
+	workers    int
+	raceDetect bool
+	lockAware  bool
+}
+
+// Option configures a Monitor.
+type Option func(*config)
+
+// WithBackend selects the SP-maintenance backend by registry name
+// (default "sp-order"; see Backends).
+func WithBackend(name string) Option { return func(c *config) { c.backend = name } }
+
+// WithWorkers hints the expected number of concurrently live threads; it
+// sizes the shadow-memory lock striping and the Races() stream buffer.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithRaceDetection toggles the Nondeterminator determinacy-race
+// detector over the event stream (default on).
+func WithRaceDetection(on bool) Option { return func(c *config) { c.raceDetect = on } }
+
+// WithLockAwareness switches race detection to the ALL-SETS protocol: a
+// pair of parallel conflicting accesses races only if the lock sets held
+// at the two accesses are disjoint. Implies race detection.
+func WithLockAwareness(on bool) Option { return func(c *config) { c.lockAware = on } }
+
+// Monitor maintains SP relationships over a live stream of fork, join,
+// access, and lock events, optionally detecting determinacy races on the
+// fly. Create one with NewMonitor; the zero Monitor is not valid.
+//
+// Every method is safe for concurrent use. For backends that are not
+// internally synchronized the Monitor serializes events through one
+// mutex; backends whose BackendInfo.AnyOrder is false additionally
+// require the serial depth-first event order that Replay produces.
+type Monitor struct {
+	mu      sync.Mutex // serializes events (and everything, for unsynchronized backends)
+	backend Maintainer
+	info    BackendInfo
+
+	raceDetect bool
+	lockAware  bool
+
+	threadMu sync.RWMutex
+	threads  []*threadState
+	main     ThreadID
+
+	mem    *shadow.Memory[ThreadID]
+	lockMu sync.Mutex
+	locked map[uint64][]lockEntry
+
+	raceMu       sync.Mutex
+	races        []Race
+	raceCh       chan Race
+	streamClosed bool // guarded by raceMu; set before raceCh closes
+	dropped      atomic.Int64
+
+	accesses atomic.Int64
+	queries  atomic.Int64
+	forks    atomic.Int64
+	joins    atomic.Int64
+	finished atomic.Bool
+}
+
+// NewMonitor creates a Monitor with the given options and registers the
+// main thread (Main). It fails only on an unknown backend name.
+func NewMonitor(opts ...Option) (*Monitor, error) {
+	cfg := config{backend: "sp-order", workers: 8, raceDetect: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	backend, info, err := newBackend(cfg.backend)
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		backend:    backend,
+		info:       info,
+		raceDetect: cfg.raceDetect || cfg.lockAware,
+		lockAware:  cfg.lockAware,
+		mem:        shadow.NewMemory[ThreadID](8 * cfg.workers),
+		locked:     map[uint64][]lockEntry{},
+		raceCh:     make(chan Race, 64*cfg.workers),
+	}
+	m.main = m.newThread()
+	m.backend.Start(m.main)
+	return m, nil
+}
+
+// MustMonitor is NewMonitor panicking on error.
+func MustMonitor(opts ...Option) *Monitor {
+	m, err := NewMonitor(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Backend returns the active backend's descriptor.
+func (m *Monitor) Backend() BackendInfo { return m.info }
+
+// Main returns the main thread's ID (always 0).
+func (m *Monitor) Main() ThreadID { return m.main }
+
+// newThread allocates the next dense ThreadID.
+func (m *Monitor) newThread() ThreadID {
+	m.threadMu.Lock()
+	id := ThreadID(len(m.threads))
+	m.threads = append(m.threads, &threadState{})
+	m.threadMu.Unlock()
+	return id
+}
+
+// state returns t's bookkeeping, panicking on unknown IDs.
+func (m *Monitor) state(t ThreadID) *threadState {
+	m.threadMu.RLock()
+	defer m.threadMu.RUnlock()
+	if t < 0 || int(t) >= len(m.threads) {
+		panic(fmt.Sprintf("sp: unknown thread t%d", t))
+	}
+	return m.threads[t]
+}
+
+// checkLive panics if the monitor is finished or t has ended.
+func (m *Monitor) checkLive(t ThreadID, st *threadState, ev string) {
+	if m.finished.Load() {
+		panic(fmt.Sprintf("sp: %s on finished monitor", ev))
+	}
+	if st.retired {
+		panic(fmt.Sprintf("sp: %s by ended thread t%d (its serial block ended at a fork or join)", ev, t))
+	}
+}
+
+// begin marks t's first action. Callers hold m.mu or own t.
+func (m *Monitor) begin(t ThreadID, st *threadState) {
+	if !st.begun {
+		st.begun = true
+		m.backend.Begin(t)
+	}
+}
+
+// Begin optionally announces that thread t is about to run. It is
+// idempotent and implied by t's first event; replay drivers call it
+// explicitly so that threads with no memory accesses still acquire an
+// execution position (which the serial backends need for queries).
+func (m *Monitor) Begin(t ThreadID) {
+	st := m.state(t)
+	if !m.info.Synchronized {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	m.checkLive(t, st, "Begin")
+	m.begin(t, st)
+}
+
+// Fork ends parent's serial block and returns the two threads that
+// continue from it: the spawned child (left) and the continuation
+// (right), which run logically in parallel.
+func (m *Monitor) Fork(parent ThreadID) (left, right ThreadID) {
+	st := m.state(parent)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checkLive(parent, st, "Fork")
+	m.begin(parent, st)
+	left, right = m.newThread(), m.newThread()
+	m.backend.Fork(parent, left, right)
+	st.retired = true
+	st.held = nil
+	m.forks.Add(1)
+	return left, right
+}
+
+// Join ends threads left and right — the terminals of the two branches
+// of one fork (joins must be well nested) — and returns the continuation
+// thread that runs logically after both.
+func (m *Monitor) Join(left, right ThreadID) (cont ThreadID) {
+	lst, rst := m.state(left), m.state(right)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if left == right {
+		panic("sp: Join of a thread with itself")
+	}
+	m.checkLive(left, lst, "Join")
+	m.checkLive(right, rst, "Join")
+	cont = m.newThread()
+	m.backend.Join(left, right, cont)
+	lst.retired, rst.retired = true, true
+	lst.held, rst.held = nil, nil
+	m.joins.Add(1)
+	return cont
+}
+
+// Read records a shared-memory load by thread t at addr.
+func (m *Monitor) Read(t ThreadID, addr uint64) { m.access(t, addr, false, nil) }
+
+// ReadAt is Read with an attached source site (any user value, e.g. a
+// program counter or a parse-tree node) carried into race reports.
+func (m *Monitor) ReadAt(t ThreadID, addr uint64, site any) { m.access(t, addr, false, site) }
+
+// Write records a shared-memory store by thread t at addr.
+func (m *Monitor) Write(t ThreadID, addr uint64) { m.access(t, addr, true, nil) }
+
+// WriteAt is Write with an attached source site.
+func (m *Monitor) WriteAt(t ThreadID, addr uint64, site any) { m.access(t, addr, true, site) }
+
+// Acquire records that thread t locked mutex lock (reentrant).
+func (m *Monitor) Acquire(t ThreadID, lock int) {
+	st := m.state(t)
+	if !m.info.Synchronized {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	m.checkLive(t, st, "Acquire")
+	m.begin(t, st)
+	if st.held == nil {
+		st.held = map[int]int{}
+	}
+	st.held[lock]++
+}
+
+// Release records that thread t unlocked mutex lock. It panics if t does
+// not hold the mutex. Locks still held when a thread ends are released
+// implicitly (a critical section never spans threads in this model).
+func (m *Monitor) Release(t ThreadID, lock int) {
+	st := m.state(t)
+	if !m.info.Synchronized {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	m.checkLive(t, st, "Release")
+	m.begin(t, st)
+	if st.held[lock] == 0 {
+		panic(fmt.Sprintf("sp: release of unheld mutex m%d by thread t%d", lock, t))
+	}
+	st.held[lock]--
+}
+
+// relCur adapts the backend to the shadow protocol's current-thread view.
+type relCur struct {
+	m   *Monitor
+	cur ThreadID
+}
+
+func (r relCur) PrecedesCurrent(prev ThreadID) bool {
+	if prev == r.cur {
+		return false
+	}
+	return r.m.backend.Precedes(prev, r.cur)
+}
+
+func (r relCur) ParallelCurrent(prev ThreadID) bool {
+	if prev == r.cur {
+		return false
+	}
+	return r.m.backend.Parallel(prev, r.cur)
+}
+
+// access applies one memory access to the backend and, when race
+// detection is on, to the shadow protocol.
+func (m *Monitor) access(t ThreadID, addr uint64, write bool, site any) {
+	st := m.state(t)
+	if !m.info.Synchronized {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	m.checkLive(t, st, "access")
+	m.begin(t, st)
+	m.accesses.Add(1)
+	if !m.raceDetect {
+		return
+	}
+	if m.lockAware {
+		m.lockAwareAccess(t, st, addr, write, site)
+		return
+	}
+	cell := m.mem.Cell(addr)
+	unlock := m.mem.Lock(addr)
+	var q int64
+	found := shadow.OnAccess(cell, relCur{m, t}, t, site, write, &q)
+	unlock()
+	m.queries.Add(q)
+	if found != nil {
+		m.emit(Race{
+			Addr: addr, Kind: found.Kind,
+			First: found.Prev, Second: t,
+			FirstSite: found.PrevSite, SecondSite: site,
+		})
+	}
+}
+
+// lockAwareAccess applies the ALL-SETS protocol: full access history per
+// location (deduplicated by thread, kind, and lock set), a race reported
+// for every logically parallel conflicting pair with disjoint lock sets.
+func (m *Monitor) lockAwareAccess(t ThreadID, st *threadState, addr uint64, write bool, site any) {
+	cur := newLockSet(st.held)
+	m.lockMu.Lock()
+	defer m.lockMu.Unlock()
+	var q int64
+	rel := relCur{m, t}
+	for _, e := range m.locked[addr] {
+		if e.t == t || !(write || e.write) {
+			continue
+		}
+		q++
+		if !rel.ParallelCurrent(e.t) {
+			continue
+		}
+		if !e.locks.Disjoint(cur) {
+			continue
+		}
+		kind := WriteWrite
+		switch {
+		case e.write && !write:
+			kind = WriteRead
+		case !e.write && write:
+			kind = ReadWrite
+		}
+		m.emit(Race{
+			Addr: addr, Kind: kind,
+			First: e.t, Second: t,
+			FirstSite: e.site, SecondSite: site,
+			FirstLocks: e.locks, SecondLocks: cur,
+		})
+	}
+	m.queries.Add(q)
+	dup := false
+	for _, e := range m.locked[addr] {
+		if e.t == t && e.write == write && e.locks.Equal(cur) {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		m.locked[addr] = append(m.locked[addr], lockEntry{t, site, write, cur})
+	}
+}
+
+// emit records a race and streams it to Races() listeners. The send
+// happens under raceMu so that it cannot race Report's close of the
+// channel (an access in flight on a synchronized backend may outlive
+// the finished check).
+func (m *Monitor) emit(r Race) {
+	m.raceMu.Lock()
+	defer m.raceMu.Unlock()
+	m.races = append(m.races, r)
+	if m.streamClosed {
+		m.dropped.Add(1)
+		return
+	}
+	select {
+	case m.raceCh <- r:
+	default:
+		m.dropped.Add(1)
+	}
+}
+
+// Races returns the streaming race channel. Races are delivered as they
+// are detected; the channel is closed by Report. If no receiver keeps
+// up, excess races are dropped from the stream (DroppedRaces counts
+// them) but still appear in the final Report.
+func (m *Monitor) Races() <-chan Race { return m.raceCh }
+
+// Relation returns the SP relationship between threads a and b. Both
+// must have begun; for backends without FullQueries, b must be the
+// currently executing thread.
+func (m *Monitor) Relation(a, b ThreadID) Relation {
+	if a == b {
+		return Same
+	}
+	if !m.info.Synchronized {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	m.queries.Add(1)
+	if m.backend.Precedes(a, b) {
+		return Precedes
+	}
+	if m.backend.Parallel(a, b) {
+		return Parallel
+	}
+	return Follows
+}
+
+// Precedes reports a ≺ b (same preconditions as Relation).
+func (m *Monitor) Precedes(a, b ThreadID) bool { return m.Relation(a, b) == Precedes }
+
+// Parallel reports a ∥ b (same preconditions as Relation).
+func (m *Monitor) Parallel(a, b ThreadID) bool { return m.Relation(a, b) == Parallel }
+
+// Report finalizes the run and returns the aggregate outcome. The
+// Races() channel is closed; further events panic. Report may be called
+// more than once.
+func (m *Monitor) Report() Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished.Store(true)
+	// Close the stream and snapshot the races in one critical section,
+	// so every race emitted before the close is in this snapshot.
+	m.raceMu.Lock()
+	if !m.streamClosed {
+		m.streamClosed = true
+		close(m.raceCh)
+	}
+	races := append([]Race(nil), m.races...)
+	m.raceMu.Unlock()
+	locSet := map[uint64]bool{}
+	for _, r := range races {
+		locSet[r.Addr] = true
+	}
+	locs := make([]uint64, 0, len(locSet))
+	for l := range locSet {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	m.threadMu.RLock()
+	threads := int64(len(m.threads))
+	m.threadMu.RUnlock()
+	return Report{
+		Backend:      m.info.Name,
+		Races:        races,
+		Locations:    locs,
+		Threads:      threads,
+		Forks:        m.forks.Load(),
+		Joins:        m.joins.Load(),
+		Accesses:     m.accesses.Load(),
+		Queries:      m.queries.Load(),
+		DroppedRaces: m.dropped.Load(),
+	}
+}

@@ -1,0 +1,150 @@
+package sp
+
+import (
+	"fmt"
+
+	"repro/internal/spt"
+)
+
+// This file rebuilds the tree-replay path as an adapter over the event
+// API: an SP parse tree (package spt) is translated into the fork, join,
+// access, and lock events a live program would emit, so the detectors,
+// benchmarks, and oracle-equivalence tests drive exactly the same
+// Monitor surface as live code.
+//
+// The translation follows the tree's structure: an S-node replays its
+// left subtree then its right on the same event thread (a maximal serial
+// block may span several parse-tree leaves); a P-node forks, replays the
+// branches, and joins the branch terminals; a leaf replays its synthetic
+// steps. The serial Replay emits events in the depth-first English
+// order, which is the order the serial backends require.
+
+// ReplayIDs maps parse-tree node IDs to the event thread that executed
+// them (NoThread for internal nodes). Consecutive leaves composed in
+// series share one event thread.
+type ReplayIDs []ThreadID
+
+// Leaf returns the event thread that executed leaf n.
+func (ids ReplayIDs) Leaf(n *spt.Node) ThreadID { return ids[n.ID] }
+
+// Replay drives monitor m through the serial left-to-right unfolding of
+// tree t, starting from m.Main(), and returns the leaf-to-thread map.
+// The monitor must be fresh (its main thread still live); locks held at
+// the end of a leaf are released implicitly, as in the lock-aware
+// detector's model.
+func Replay(t *spt.Tree, m *Monitor) ReplayIDs {
+	return ReplayObserved(t, m, nil)
+}
+
+// ReplayObserved is Replay with a callback invoked after each leaf's
+// steps have been replayed (while the leaf's thread is still current),
+// e.g. to issue SP queries mid-run.
+func ReplayObserved(t *spt.Tree, m *Monitor, obs func(leaf *spt.Node, id ThreadID)) ReplayIDs {
+	ids := newReplayIDs(t)
+	var rec func(n *spt.Node, cur ThreadID) ThreadID
+	rec = func(n *spt.Node, cur ThreadID) ThreadID {
+		switch n.Kind() {
+		case spt.Leaf:
+			ids[n.ID] = cur
+			replayLeaf(m, cur, n)
+			if obs != nil {
+				obs(n, cur)
+			}
+			return cur
+		case spt.SNode:
+			return rec(n.Right(), rec(n.Left(), cur))
+		default: // PNode
+			l, r := m.Fork(cur)
+			a := rec(n.Left(), l)
+			b := rec(n.Right(), r)
+			return m.Join(a, b)
+		}
+	}
+	rec(t.Root(), m.Main())
+	return ids
+}
+
+// ReplayParallel replays tree t with real concurrency: each P-node's
+// spawned branch runs on its own goroutine when one of the (workers-1)
+// extra slots is free, and inline otherwise. Events therefore reach the
+// monitor in an arbitrary creation-respecting order, so the backend must
+// have AnyOrder capability ("sp-order", which the Monitor serializes, or
+// the internally synchronized "sp-hybrid").
+func ReplayParallel(t *spt.Tree, m *Monitor, workers int) ReplayIDs {
+	if !m.Backend().AnyOrder {
+		panic(fmt.Sprintf("sp: ReplayParallel requires an any-order backend (%s requires the serial event order)", m.Backend().Name))
+	}
+	ids := newReplayIDs(t)
+	slots := make(chan struct{}, max(workers-1, 0))
+	var rec func(n *spt.Node, cur ThreadID) ThreadID
+	rec = func(n *spt.Node, cur ThreadID) ThreadID {
+		switch n.Kind() {
+		case spt.Leaf:
+			ids[n.ID] = cur
+			replayLeaf(m, cur, n)
+			return cur
+		case spt.SNode:
+			return rec(n.Right(), rec(n.Left(), cur))
+		default: // PNode
+			l, r := m.Fork(cur)
+			select {
+			case slots <- struct{}{}:
+				ch := make(chan ThreadID, 1)
+				go func() {
+					ch <- rec(n.Left(), l)
+					<-slots
+				}()
+				b := rec(n.Right(), r)
+				return m.Join(<-ch, b)
+			default:
+				a := rec(n.Left(), l)
+				b := rec(n.Right(), r)
+				return m.Join(a, b)
+			}
+		}
+	}
+	rec(t.Root(), m.Main())
+	return ids
+}
+
+func newReplayIDs(t *spt.Tree) ReplayIDs {
+	ids := make(ReplayIDs, t.Len())
+	for i := range ids {
+		ids[i] = NoThread
+	}
+	return ids
+}
+
+// replayLeaf emits leaf n's synthetic steps as events of thread cur,
+// with the leaf attached as the access site so race reports can name the
+// parse-tree thread. Locks the leaf still holds at its end are released
+// implicitly (by balance), preserving the model in which a critical
+// section never spans threads.
+func replayLeaf(m *Monitor, cur ThreadID, n *spt.Node) {
+	m.Begin(cur)
+	var held map[int]int
+	for _, st := range n.Steps {
+		switch st.Op {
+		case spt.Read:
+			m.ReadAt(cur, uint64(st.Loc), n)
+		case spt.Write:
+			m.WriteAt(cur, uint64(st.Loc), n)
+		case spt.Acquire:
+			m.Acquire(cur, st.Loc)
+			if held == nil {
+				held = map[int]int{}
+			}
+			held[st.Loc]++
+		case spt.Release:
+			m.Release(cur, st.Loc)
+			if held[st.Loc] > 0 {
+				held[st.Loc]--
+			}
+		}
+	}
+	for lock, n := range held {
+		for ; n > 0; n-- {
+			m.Release(cur, lock)
+		}
+	}
+}

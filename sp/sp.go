@@ -1,0 +1,207 @@
+// Package sp is the product API for on-the-fly maintenance of
+// series-parallel relationships in fork-join multithreaded programs
+// (Bender, Fineman, Gilbert, Leiserson, SPAA 2004).
+//
+// Unlike the replay-oriented facade in package repro — which consumes a
+// pre-built SP parse tree — this package is event driven: a program (or a
+// replay adapter) reports fork, join, memory-access, and lock events to a
+// Monitor as they happen, and the Monitor maintains, on the fly, the SP
+// relationship between any previously executed thread and the currently
+// executing ones, optionally running a Nondeterminator-style determinacy
+// race detector (and an ALL-SETS-style lock-aware detector) over the
+// event stream.
+//
+// # Threads and events
+//
+// A ThreadID names one thread in the paper's sense: a maximal block of
+// serially executed instructions. The monitored program's structure is
+// communicated with two structural events:
+//
+//   - Fork(parent) ends parent's serial block and creates two new
+//     threads running logically in parallel: the spawned child (left)
+//     and the continuation (right).
+//   - Join(left, right) ends the two threads — which must be the
+//     terminals of the two branches of one fork, i.e. joins must be
+//     well nested — and creates the continuation thread that runs
+//     logically after both.
+//
+// Between its creation and its terminal event, a thread reports memory
+// accesses (Read/Write), lock operations (Acquire/Release), and may ask
+// SP queries (Relation, Precedes, Parallel) against any previously
+// executed thread.
+//
+// # Backends
+//
+// The SP-maintenance algorithm behind a Monitor is pluggable: every
+// engine in this repository is adapted to the Maintainer interface and
+// registered by name (see Backends). The serial engines (SP-order,
+// SP-order-implicit, SP-bags, and the English-Hebrew and offset-span
+// labelers) require the event stream of a serial depth-first execution —
+// spawned branch before continuation, the order Replay produces — except
+// SP-order, which tolerates any event order that respects thread
+// creation. The parallel engine (SP-hybrid's global tier) accepts
+// concurrent event delivery from live goroutines.
+//
+// See BackendInfo for each backend's capabilities and asymptotic bounds,
+// Replay/ReplayParallel for driving a Monitor from an spt.Tree, and
+// examples/livemonitor for monitoring a real goroutine program with no
+// parse tree anywhere in user code.
+package sp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ThreadID identifies one thread (maximal serial block) of a monitored
+// program. IDs are dense, starting at 0 for the main thread.
+type ThreadID int64
+
+// NoThread is the invalid ThreadID.
+const NoThread ThreadID = -1
+
+// Relation is the series-parallel relationship between two threads.
+type Relation uint8
+
+const (
+	// Same means the two arguments are the identical thread.
+	Same Relation = iota
+	// Precedes means the first thread logically precedes the second.
+	Precedes
+	// Follows means the second thread logically precedes the first.
+	Follows
+	// Parallel means the threads operate logically in parallel.
+	Parallel
+)
+
+// String names the relation.
+func (r Relation) String() string {
+	switch r {
+	case Same:
+		return "same"
+	case Precedes:
+		return "precedes"
+	case Follows:
+		return "follows"
+	case Parallel:
+		return "parallel"
+	default:
+		return "unknown"
+	}
+}
+
+// Maintainer is the backend interface every SP-maintenance engine
+// implements. The Monitor owns ThreadID allocation (dense, in creation
+// order) and translates its public event methods into these calls; a
+// Maintainer only maintains the SP structure.
+//
+// Begin(t) is invoked once, before t's first action; serial backends use
+// it to learn the execution (English) order of threads. Precedes and
+// Parallel may be asked about any thread that has begun; backends whose
+// BackendInfo.FullQueries is false additionally require the second
+// argument to be the currently executing thread.
+type Maintainer interface {
+	// Start registers the main thread.
+	Start(main ThreadID)
+	// Begin marks t's first action.
+	Begin(t ThreadID)
+	// Fork records that parent ended by spawning left ∥ right.
+	Fork(parent, left, right ThreadID)
+	// Join records that left and right ended, continuing as cont.
+	Join(left, right, cont ThreadID)
+	// Precedes reports a ≺ b.
+	Precedes(a, b ThreadID) bool
+	// Parallel reports a ∥ b.
+	Parallel(a, b ThreadID) bool
+}
+
+// BackendInfo describes a registered backend's capabilities and the
+// asymptotic bounds from the paper's Figure 3.
+type BackendInfo struct {
+	// Name is the registry key (e.g. "sp-order").
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// UpdateBound, QueryBound, SpaceBound are the paper's asymptotic
+	// costs per structural event, per query, and per thread.
+	UpdateBound, QueryBound, SpaceBound string
+	// FullQueries reports whether queries between ANY two begun threads
+	// are answered; when false, the second query argument must be the
+	// currently executing thread (SP-bags semantics).
+	FullQueries bool
+	// AnyOrder reports whether events may arrive in any order that
+	// respects thread creation (a live parallel program); when false the
+	// backend requires the serial depth-first (English) event order that
+	// Replay produces.
+	AnyOrder bool
+	// Synchronized reports whether the backend is internally safe for
+	// concurrent event delivery; when false the Monitor serializes all
+	// events through one mutex.
+	Synchronized bool
+}
+
+var registry = struct {
+	sync.Mutex
+	factories map[string]func() Maintainer
+	infos     map[string]BackendInfo
+}{factories: map[string]func() Maintainer{}, infos: map[string]BackendInfo{}}
+
+// Register adds a backend to the registry. It panics on duplicate or
+// empty names; call it from an init function.
+func Register(info BackendInfo, factory func() Maintainer) {
+	if info.Name == "" || factory == nil {
+		panic("sp: Register requires a name and a factory")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[info.Name]; dup {
+		panic(fmt.Sprintf("sp: backend %q registered twice", info.Name))
+	}
+	registry.factories[info.Name] = factory
+	registry.infos[info.Name] = info
+}
+
+// Backends returns the registered backends sorted by name.
+func Backends() []BackendInfo {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]BackendInfo, 0, len(registry.infos))
+	for _, info := range registry.infos {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// BackendNames returns the sorted registry keys.
+func BackendNames() []string {
+	infos := Backends()
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// Lookup returns the descriptor of the named backend and whether it is
+// registered. Tools validating a user-supplied backend name should use
+// this rather than scanning Backends themselves.
+func Lookup(name string) (BackendInfo, bool) {
+	registry.Lock()
+	defer registry.Unlock()
+	info, ok := registry.infos[name]
+	return info, ok
+}
+
+// newBackend instantiates a registered backend.
+func newBackend(name string) (Maintainer, BackendInfo, error) {
+	registry.Lock()
+	factory, ok := registry.factories[name]
+	info := registry.infos[name]
+	registry.Unlock()
+	if !ok {
+		return nil, BackendInfo{}, fmt.Errorf("sp: unknown backend %q (available: %v)", name, BackendNames())
+	}
+	return factory(), info, nil
+}

@@ -1,0 +1,130 @@
+package sp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/om"
+)
+
+// This file adapts SP-hybrid (Sections 3–7) to the event API as the
+// concurrent backend for monitoring live parallel programs. SP-hybrid's
+// global tier orders TRACES — sets of threads executed on one processor
+// between steals — in two concurrent order-maintenance lists with a
+// single insertion lock and lock-free, timestamp-validated queries; its
+// local tier (SP-bags over a trace) exists to amortize global-tier
+// traffic down to O(steals).
+//
+// A live monitor has no scheduler and therefore no steals to observe, so
+// this backend treats every fork as a steal: each thread is its own
+// trace (the degenerate five-way split of Section 5 in which U1..U5 are
+// all singletons and the local tier is empty). The global-tier machinery
+// is used unchanged — om.Concurrent's OM-MULTI-INSERT under the
+// insertion lock, lock-free queries with retry validation — and the
+// insertion positions are the event-driven SP-order rules (see
+// sporder.go): Fork(u) inserts l, r after u (English) and r, l after u
+// (Hebrew); Join(a, b) inserts the continuation after the branch maxima
+// b (English) and a (Hebrew).
+//
+// The scheduler-coupled SP-hybrid with real work-stealing and a live
+// local tier remains available for tree replay via repro.DetectParallel
+// and internal/sphybrid; this backend is its event-stream face.
+
+// hybrid is the concurrent (live) SP-maintenance backend.
+type hybrid struct {
+	eng, heb *om.Concurrent
+
+	mu    sync.RWMutex // guards the item tables, not the lists
+	engIt []*om.CItem
+	hebIt []*om.CItem
+}
+
+func newHybrid() Maintainer {
+	return &hybrid{eng: om.NewConcurrent(), heb: om.NewConcurrent()}
+}
+
+func (h *hybrid) growLocked(t ThreadID) {
+	for int(t) >= len(h.engIt) {
+		h.engIt = append(h.engIt, nil)
+		h.hebIt = append(h.hebIt, nil)
+	}
+}
+
+func (h *hybrid) Start(main ThreadID) {
+	e := h.eng.InsertFirst()
+	hb := h.heb.InsertFirst()
+	h.mu.Lock()
+	h.growLocked(main)
+	h.engIt[main], h.hebIt[main] = e, hb
+	h.mu.Unlock()
+}
+
+func (h *hybrid) Begin(ThreadID) {}
+
+func (h *hybrid) items(a, b ThreadID) (ea, eb, ha, hb *om.CItem) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if int(a) >= len(h.engIt) || int(b) >= len(h.engIt) || a < 0 || b < 0 {
+		panic(fmt.Sprintf("sp: sp-hybrid query on unknown thread (t%d, t%d)", a, b))
+	}
+	ea, ha = h.engIt[a], h.hebIt[a]
+	eb, hb = h.engIt[b], h.hebIt[b]
+	if ea == nil || eb == nil {
+		panic(fmt.Sprintf("sp: sp-hybrid query on unknown thread (t%d, t%d)", a, b))
+	}
+	return
+}
+
+func (h *hybrid) Fork(parent, left, right ThreadID) {
+	h.mu.RLock()
+	pe, ph := h.engIt[parent], h.hebIt[parent]
+	h.mu.RUnlock()
+	// OM-MULTI-INSERT under each list's insertion lock: English
+	// ⟨u, l, r⟩, Hebrew ⟨u, r, l⟩ (the P-node swap).
+	_, eAfter := h.eng.MultiInsertAround(pe, 0, 2)
+	_, hAfter := h.heb.MultiInsertAround(ph, 0, 2)
+	h.mu.Lock()
+	h.growLocked(right)
+	h.engIt[left], h.engIt[right] = eAfter[0], eAfter[1]
+	h.hebIt[right], h.hebIt[left] = hAfter[0], hAfter[1]
+	h.mu.Unlock()
+}
+
+func (h *hybrid) Join(left, right, cont ThreadID) {
+	h.mu.RLock()
+	re, lh := h.engIt[right], h.hebIt[left]
+	h.mu.RUnlock()
+	e := h.eng.InsertAfter(re)
+	hb := h.heb.InsertAfter(lh)
+	h.mu.Lock()
+	h.growLocked(cont)
+	h.engIt[cont], h.hebIt[cont] = e, hb
+	h.mu.Unlock()
+}
+
+// Precedes reports a ≺ b via lock-free global-tier queries (Figure 9
+// with singleton traces: the same-trace local case never arises).
+func (h *hybrid) Precedes(a, b ThreadID) bool {
+	ea, eb, ha, hb := h.items(a, b)
+	return h.eng.Precedes(ea, eb) && h.heb.Precedes(ha, hb)
+}
+
+// Parallel reports a ∥ b: the global orders disagree.
+func (h *hybrid) Parallel(a, b ThreadID) bool {
+	if a == b {
+		return false
+	}
+	ea, eb, ha, hb := h.items(a, b)
+	return h.eng.Precedes(ea, eb) != h.heb.Precedes(ha, hb)
+}
+
+func init() {
+	Register(BackendInfo{
+		Name:        "sp-hybrid",
+		Description: "SP-hybrid global tier: concurrent OM lists, lock-free queries, every fork a steal",
+		UpdateBound: "O(1) amortized (under the insertion lock)", QueryBound: "O(1) expected, lock-free", SpaceBound: "O(1)",
+		FullQueries:  true,
+		AnyOrder:     true,
+		Synchronized: true,
+	}, newHybrid)
+}
