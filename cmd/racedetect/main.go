@@ -8,10 +8,13 @@
 //
 //	racedetect -workload {planted|vector|vector-buggy|fib|locks}
 //	           [-threads n] [-seed s] [-workers p] [-backend name]
+//	           [-trace file]
 //
 // -backend selects one registered backend by name; "all" runs every
 // registered backend; "?" (or "list") prints the registry with each
-// backend's capabilities and asymptotic bounds and exits.
+// backend's capabilities and asymptotic bounds and exits. -trace
+// additionally records the workload's serial event stream as a binary
+// trace (replayable with `sptrace replay`).
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 
 	"repro"
 	"repro/internal/race"
+	"repro/internal/workload"
 	"repro/sp"
 )
 
@@ -32,7 +36,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 4, "workers for the parallel detector")
 	backend := flag.String("backend", "all", "backend registry name, 'all', or '?' to list")
+	tracePath := flag.String("trace", "", "also record the serial event stream to this trace file")
 	flag.Parse()
+	traceOut = *tracePath
 
 	if *backend == "?" || *backend == "list" {
 		printBackends()
@@ -88,7 +94,33 @@ func printBackends() {
 	}
 }
 
+// traceOut is the -trace flag: when set, runAll also records the
+// workload's serial event stream there.
+var traceOut string
+
+// recordTrace writes tr's serial event stream to path via the shared
+// workload.RecordTrace helper.
+func recordTrace(tr *repro.Tree, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := workload.RecordTrace(tr, f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
 func runAll(tr *repro.Tree, backend string, workers int, seed int64) {
+	if traceOut != "" {
+		if err := recordTrace(tr, traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "recording trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded serial event stream to %s (replay with: sptrace replay -backend all %s)\n\n",
+			traceOut, traceOut)
+	}
 	var names []string
 	for _, info := range sp.Backends() {
 		names = append(names, info.Name)
@@ -138,6 +170,13 @@ func runLocks() {
 	tr, protected, unprotected := repro.LockProtected(6, repro.NewRand(2))
 	fmt.Println("Lock workload: 6 writers sharing one mutex-protected cell,")
 	fmt.Println("plus two unlocked parallel writers on a second cell.")
+	if traceOut != "" {
+		if err := recordTrace(tr, traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "recording trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded serial event stream to %s\n", traceOut)
+	}
 	det := repro.DetectSerial(tr, repro.BackendSPOrder)
 	fmt.Printf("\nDeterminacy detector flags locations %v (locks invisible to it)\n", det.Locations)
 	lrep := repro.DetectLockAware(tr)

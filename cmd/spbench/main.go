@@ -1,18 +1,29 @@
 // Command spbench regenerates the paper's tables and the quantitative
 // claims of its theorems as text tables (the experiment index lives in
-// DESIGN.md §3; results are recorded in EXPERIMENTS.md).
+// DESIGN.md §3; results are recorded in EXPERIMENTS.md), plus the
+// trace-driven backend benchmark over the recorded workload shapes.
 //
 // Usage:
 //
-//	spbench [-table fig3|t5|c6|t10|s7|all] [-quick]
+//	spbench [-table fig3|t5|c6|t10|s7|trace|all] [-quick] [-json]
+//
+// -table trace records one binary event trace per workload shape
+// (repro/internal/workload.Scenarios) and replays it through every
+// registered backend, reporting ns/event, events/sec, and the trace's
+// peak logical parallelism. -json emits ONLY that benchmark, as a JSON
+// document suitable for committing as BENCH_<host>.json so successive
+// PRs accumulate a perf trajectory.
 //
 // On single-CPU hosts the Theorem 10 experiment measures overhead scaling
 // (steals, retries, lock traffic) rather than wall-clock speedup.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -21,17 +32,23 @@ import (
 	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/sp"
+	"repro/sp/trace"
 )
 
 var (
 	quick       = flag.Bool("quick", false, "smaller workloads, fewer repetitions")
-	backendFlag = flag.String("backend", "all", "restrict the Corollary 6 table to one registered backend")
+	backendFlag = flag.String("backend", "all", "restrict the Corollary 6 and trace tables to one registered backend")
+	jsonFlag    = flag.Bool("json", false, "emit the trace-driven benchmark as JSON (implies -table trace)")
 )
 
 func main() {
-	table := flag.String("table", "all", "which experiment: fig3|t5|c6|t10|s7|all")
+	table := flag.String("table", "all", "which experiment: fig3|t5|c6|t10|s7|trace|all")
 	flag.Parse()
 
+	if *jsonFlag {
+		traceBench(true)
+		return
+	}
 	fmt.Printf("spbench: GOMAXPROCS=%d NumCPU=%d quick=%v\n\n",
 		runtime.GOMAXPROCS(0), runtime.NumCPU(), *quick)
 	switch *table {
@@ -45,12 +62,15 @@ func main() {
 		theorem10()
 	case "s7":
 		section7()
+	case "trace":
+		traceBench(false)
 	case "all":
 		fig3()
 		theorem5()
 		corollary6()
 		theorem10()
 		section7()
+		traceBench(false)
 	default:
 		fmt.Println("unknown table:", *table)
 	}
@@ -299,6 +319,112 @@ func section7() {
 			s.name, canon.Work(), canon.Span(), canon.StructuralSpan(), st.Steals, st.Traces)
 	}
 	fmt.Println("(steals track the STRUCTURAL T∞, which includes spawn overhead on the critical path:\n zero for the chain, Θ(n) for the fan's spawn spine, small for balanced/fib)")
+	fmt.Println()
+}
+
+// traceBenchResult is one (workload, backend) measurement of the
+// trace-driven benchmark; the JSON field names are the committed
+// BENCH_*.json schema.
+type traceBenchResult struct {
+	Workload     string  `json:"workload"`
+	Backend      string  `json:"backend"`
+	Events       int64   `json:"events"`
+	TraceBytes   int64   `json:"traceBytes"`
+	Threads      int64   `json:"threads"`
+	PeakParallel int64   `json:"peakParallel"`
+	Races        int     `json:"races"`
+	NsPerEvent   float64 `json:"nsPerEvent"`
+	EventsPerSec float64 `json:"eventsPerSec"`
+}
+
+// traceBenchDoc is the -json output envelope.
+type traceBenchDoc struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"numcpu"`
+	Quick      bool               `json:"quick"`
+	Threads    int                `json:"workloadThreads"`
+	Results    []traceBenchResult `json:"results"`
+}
+
+// traceBench records one trace per workload shape and replays it
+// through every registered backend, measuring whole-pipeline replay
+// cost (decode + monitor + SP maintenance + race detection) per event.
+func traceBench(jsonOut bool) {
+	n := 2048
+	if *quick {
+		n = 256
+	}
+	backends := sp.BackendNames()
+	if *backendFlag != "all" {
+		if _, ok := sp.Lookup(*backendFlag); !ok {
+			fmt.Fprintf(os.Stderr, "unknown backend %q (available: %v)\n", *backendFlag, sp.BackendNames())
+			os.Exit(2)
+		}
+		backends = []string{*backendFlag}
+	}
+	doc := traceBenchDoc{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      *quick,
+		Threads:    n,
+	}
+	if !jsonOut {
+		fmt.Println("=== Trace-driven backend benchmark (recorded event streams) ===")
+		fmt.Printf("%-12s %-20s %10s %8s %12s %14s\n",
+			"workload", "backend", "events", "peak∥", "ns/event", "events/sec")
+	}
+	for _, sc := range workload.Scenarios() {
+		var buf bytes.Buffer
+		if _, err := workload.RecordTrace(sc.Build(n, 11), &buf); err != nil {
+			fmt.Fprintf(os.Stderr, "recording %s: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+		data := buf.Bytes()
+		st, err := trace.Stat(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stat %s: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+		for _, b := range backends {
+			var rep sp.Report
+			el := timeIt(reps(), func() {
+				var err error
+				rep, err = trace.ReplayBackend(data, b)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "replaying %s through %s: %v\n", sc.Name, b, err)
+					os.Exit(1)
+				}
+			})
+			nsPerEvent := float64(el.Nanoseconds()) / float64(st.Events)
+			r := traceBenchResult{
+				Workload:     sc.Name,
+				Backend:      b,
+				Events:       st.Events,
+				TraceBytes:   st.Bytes,
+				Threads:      st.Threads,
+				PeakParallel: st.PeakParallel,
+				Races:        len(rep.Races),
+				NsPerEvent:   nsPerEvent,
+				EventsPerSec: 1e9 / nsPerEvent,
+			}
+			doc.Results = append(doc.Results, r)
+			if !jsonOut {
+				fmt.Printf("%-12s %-20s %10d %8d %12.1f %14.0f\n",
+					r.Workload, r.Backend, r.Events, r.PeakParallel, r.NsPerEvent, r.EventsPerSec)
+			}
+		}
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Println("(whole-pipeline cost: trace decode + event validation + SP maintenance + race detection;")
+	fmt.Println(" commit `spbench -json` output as BENCH_<host>.json to track the trajectory)")
 	fmt.Println()
 }
 

@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	spviz [-random n] [-seed s] [-backend name]
+//	spviz [-random n] [-seed s] [-backend name] [-trace file]
 //
 // With -random n it instead generates a random n-thread program and
 // prints its tree, dag, and orderings. -backend selects which registered
 // SP-maintenance backend verifies the relations ("?" lists the
-// registry).
+// registry). -trace records the visualized program's serial event
+// stream as a binary trace for `sptrace`.
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"repro"
 	"repro/internal/spt"
+	"repro/internal/workload"
 	"repro/sp"
 )
 
@@ -27,6 +29,7 @@ func main() {
 	randomN := flag.Int("random", 0, "visualize a random program with n threads instead of the paper example")
 	seed := flag.Int64("seed", 1, "random seed for -random")
 	backend := flag.String("backend", "sp-order", "SP-maintenance backend verifying the relations ('?' lists)")
+	tracePath := flag.String("trace", "", "record the program's serial event stream to this trace file")
 	flag.Parse()
 
 	if *backend == "?" || *backend == "list" {
@@ -51,6 +54,15 @@ func main() {
 		tree = repro.PaperExample()
 		fmt.Println("Paper example (Figures 1, 2, and 4)")
 		fmt.Println()
+	}
+
+	if *tracePath != "" {
+		if err := recordTrace(tree, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "recording trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded serial event stream to %s (inspect with: sptrace stat %s)\n\n",
+			*tracePath, *tracePath)
 	}
 
 	fmt.Println("SP parse tree (Figure 2):")
@@ -94,6 +106,21 @@ func main() {
 	} else {
 		demoRelations(tree, *backend)
 	}
+}
+
+// recordTrace writes tree's serial event stream to path via the shared
+// workload.RecordTrace helper (race detection off: spviz only
+// visualizes structure).
+func recordTrace(tree *repro.Tree, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := workload.RecordTrace(tree, f, sp.WithRaceDetection(false)); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // demoRelations prints the relation matrix of the first few threads, as

@@ -13,12 +13,24 @@
 // writes), but every leaf also bumps one shared, unsynchronized
 // "operations" counter — a planted determinacy race the monitor reports
 // on exactly that address.
+//
+// The live run is additionally RECORDED: sp.WithTrace streams every
+// event to a binary trace file as it is applied, and after the run the
+// trace is replayed through a second backend ("sp-order" — a live
+// concurrent trace is creation-respecting, so it needs an any-order
+// backend), which must re-detect exactly the same planted race from
+// the file alone.
 package main
 
 import (
+	"bytes"
+	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/sp"
+	"repro/sp/trace"
 )
 
 // Shadow-address scheme for the monitored state: one address for the
@@ -78,7 +90,16 @@ func sum(m *sp.Monitor, self sp.ThreadID, data []int, lo, hi int, cell int, resu
 }
 
 func main() {
-	m, err := sp.NewMonitor(sp.WithBackend("sp-hybrid"), sp.WithWorkers(8))
+	tracePath := flag.String("trace", "", "trace file to record (default: a temp file)")
+	flag.Parse()
+	if *tracePath == "" {
+		*tracePath = filepath.Join(os.TempDir(), "livemonitor.sptrace")
+	}
+	f, err := os.Create(*tracePath)
+	if err != nil {
+		panic(err)
+	}
+	m, err := sp.NewMonitor(sp.WithBackend("sp-hybrid"), sp.WithWorkers(8), sp.WithTrace(f))
 	if err != nil {
 		panic(err)
 	}
@@ -92,7 +113,13 @@ func main() {
 	results := make([]int, 4*len(data))
 
 	total, _, _ := sum(m, m.Main(), data, 0, len(data), 0, results)
-	rep := m.Report()
+	rep := m.Report() // also flushes the recorded trace
+	if err := m.TraceErr(); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("parallel sum = %d (want %d)\n", total, want)
 	fmt.Printf("monitored %d threads, %d forks, %d joins, %d accesses (backend %s); ops counter ended at %d\n",
@@ -103,5 +130,25 @@ func main() {
 		fmt.Println("verdict: only the planted race was found")
 	} else {
 		fmt.Println("verdict: UNEXPECTED race set")
+	}
+
+	// Replay the recorded trace through a DIFFERENT backend: the race
+	// must be re-detected deterministically from the file alone.
+	raw, err := os.ReadFile(*tracePath)
+	if err != nil {
+		panic(err)
+	}
+	m2 := sp.MustMonitor(sp.WithBackend("sp-order"))
+	if err := trace.Replay(bytes.NewReader(raw), m2); err != nil {
+		panic(err)
+	}
+	rep2 := m2.Report()
+	fmt.Printf("\nreplayed %d bytes of trace through %s: raced addresses %v\n",
+		len(raw), rep2.Backend, rep2.Locations)
+	if len(rep2.Locations) == 1 && rep2.Locations[0] == opsAddr &&
+		rep2.Forks == rep.Forks && rep2.Joins == rep.Joins && rep2.Accesses == rep.Accesses {
+		fmt.Println("verdict: replay re-detected exactly the planted race")
+	} else {
+		fmt.Println("verdict: UNEXPECTED replay outcome")
 	}
 }

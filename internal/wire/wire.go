@@ -1,0 +1,355 @@
+// Package wire implements the varint-encoded binary format of sp event
+// traces — the on-disk representation behind sp.WithTrace and the
+// public repro/sp/trace reader/writer. It lives in internal/ so that
+// both package sp (which records) and package sp/trace (which reads,
+// replays, and analyzes) can share one codec without an import cycle.
+//
+// A trace is a header followed by a flat stream of records:
+//
+//	trace     := "SPTR" uvarint(version) record*
+//	record    := event | defstring
+//	defstring := 0x0A uvarint(len) len bytes   (appends one site string)
+//
+// Event records carry the INPUTS of the corresponding Monitor calls;
+// the outputs (the thread IDs a Fork or Join creates) are implicit,
+// because a fresh Monitor allocates ThreadIDs densely in event order
+// (a fork creates next and next+1, a join creates next). Thread IDs,
+// addresses, and string indices are unsigned varints; mutex IDs are
+// zigzag varints (they are ints in the sp API). Access sites are
+// interned: the first access at a site emits one defstring record and
+// later accesses reference its index.
+//
+// Versioning policy: decoders reject traces whose version is newer
+// than they understand; any change to record layout bumps Version.
+// Opcodes 0x0B..0xFF are reserved for future record kinds.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+const (
+	// Magic opens every trace stream.
+	Magic = "SPTR"
+	// Version is the current format version.
+	Version = 1
+	// MaxStringLen bounds one interned site string; longer sites are
+	// truncated on encode and rejected on decode.
+	MaxStringLen = 1 << 20
+)
+
+// Op is a record opcode.
+type Op byte
+
+// Record opcodes. OpString defines a string-table entry and is consumed
+// internally by the Decoder; the rest surface as Events.
+const (
+	opInvalid   Op = iota
+	OpFork         // uvarint parent
+	OpJoin         // uvarint left, uvarint right
+	OpBegin        // uvarint thread
+	OpRead         // uvarint thread, uvarint addr
+	OpWrite        // uvarint thread, uvarint addr
+	OpReadSite     // uvarint thread, uvarint addr, uvarint string index
+	OpWriteSite    // uvarint thread, uvarint addr, uvarint string index
+	OpAcquire      // uvarint thread, zigzag lock
+	OpRelease      // uvarint thread, zigzag lock
+	OpString       // uvarint length, raw bytes
+)
+
+// Event is one decoded record. T1 is the fork parent, the join left
+// operand, or the acting thread; T2 is the join right operand. Addr
+// holds the address of an access, Lock the mutex of an Acquire/Release.
+// Site/HasSite carry the interned site of an OpReadSite/OpWriteSite
+// (whose Op decodes as OpRead/OpWrite with HasSite set).
+type Event struct {
+	Op      Op
+	T1, T2  int64
+	Addr    uint64
+	Lock    int64
+	Site    string
+	HasSite bool
+}
+
+// Encoder streams records to an io.Writer. All methods are safe for
+// concurrent use (live monitors deliver access events concurrently);
+// errors are sticky and surfaced by Err and Flush.
+type Encoder struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	err     error
+	strings map[string]uint64
+	buf     []byte
+}
+
+// NewEncoder wraps w and immediately writes the trace header.
+func NewEncoder(w io.Writer) *Encoder {
+	e := &Encoder{w: bufio.NewWriter(w), strings: map[string]uint64{}}
+	e.emit(binary.AppendUvarint([]byte(Magic), Version))
+	return e
+}
+
+// emit writes b unless a previous write failed. Callers hold e.mu
+// (or, for NewEncoder, have exclusive access).
+func (e *Encoder) emit(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+// Fork records Fork(parent).
+func (e *Encoder) Fork(parent int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := append(e.buf[:0], byte(OpFork))
+	e.buf = binary.AppendUvarint(b, uint64(parent))
+	e.emit(e.buf)
+}
+
+// Join records Join(left, right).
+func (e *Encoder) Join(left, right int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := append(e.buf[:0], byte(OpJoin))
+	b = binary.AppendUvarint(b, uint64(left))
+	e.buf = binary.AppendUvarint(b, uint64(right))
+	e.emit(e.buf)
+}
+
+// Begin records Begin(t).
+func (e *Encoder) Begin(t int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := append(e.buf[:0], byte(OpBegin))
+	e.buf = binary.AppendUvarint(b, uint64(t))
+	e.emit(e.buf)
+}
+
+// Access records a Read/Write (write selects which) by t at addr,
+// interning site when hasSite is set.
+func (e *Encoder) Access(t int64, addr uint64, write, hasSite bool, site string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	op := OpRead
+	if write {
+		op = OpWrite
+	}
+	var idx uint64
+	if hasSite {
+		if len(site) > MaxStringLen {
+			site = site[:MaxStringLen]
+		}
+		var known bool
+		idx, known = e.strings[site]
+		if !known {
+			idx = uint64(len(e.strings))
+			e.strings[site] = idx
+			b := append(e.buf[:0], byte(OpString))
+			e.buf = binary.AppendUvarint(b, uint64(len(site)))
+			e.emit(e.buf)
+			if e.err == nil {
+				_, e.err = e.w.WriteString(site)
+			}
+		}
+		if write {
+			op = OpWriteSite
+		} else {
+			op = OpReadSite
+		}
+	}
+	b := append(e.buf[:0], byte(op))
+	b = binary.AppendUvarint(b, uint64(t))
+	b = binary.AppendUvarint(b, addr)
+	if hasSite {
+		b = binary.AppendUvarint(b, idx)
+	}
+	e.buf = b
+	e.emit(e.buf)
+}
+
+// Acquire records Acquire(t, lock).
+func (e *Encoder) Acquire(t, lock int64) { e.lockOp(OpAcquire, t, lock) }
+
+// Release records Release(t, lock).
+func (e *Encoder) Release(t, lock int64) { e.lockOp(OpRelease, t, lock) }
+
+func (e *Encoder) lockOp(op Op, t, lock int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := append(e.buf[:0], byte(op))
+	b = binary.AppendUvarint(b, uint64(t))
+	e.buf = binary.AppendVarint(b, lock)
+	e.emit(e.buf)
+}
+
+// Flush drains the buffer to the underlying writer and returns the
+// sticky error, if any.
+func (e *Encoder) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
+	e.err = e.w.Flush()
+	return e.err
+}
+
+// Err returns the sticky encode error.
+func (e *Encoder) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Decoder streams records from an io.Reader. It is not safe for
+// concurrent use.
+type Decoder struct {
+	r       *bufio.Reader
+	strings []string
+	version uint64
+}
+
+// NewDecoder wraps r and reads the trace header, rejecting bad magic
+// and versions newer than this codec understands.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	d := &Decoder{r: bufio.NewReader(r)}
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(d.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading magic: %w", noEOF(err))
+	}
+	if string(magic[:]) != Magic {
+		return nil, fmt.Errorf("wire: bad magic %q, not an sp trace", magic[:])
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return nil, fmt.Errorf("wire: reading version: %w", noEOF(err))
+	}
+	if v == 0 || v > Version {
+		return nil, fmt.Errorf("wire: unsupported trace version %d (this reader understands <= %d)", v, Version)
+	}
+	d.version = v
+	return d, nil
+}
+
+// Version returns the trace's format version.
+func (d *Decoder) Version() int { return int(d.version) }
+
+// noEOF converts a bare io.EOF into io.ErrUnexpectedEOF: inside a
+// header or record, running out of input means truncation.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// uvarint reads one unsigned operand, treating EOF as truncation.
+func (d *Decoder) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, fmt.Errorf("wire: reading operand: %w", noEOF(err))
+	}
+	return v, nil
+}
+
+// tid reads one thread-ID operand.
+func (d *Decoder) tid() (int64, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt64 {
+		return 0, fmt.Errorf("wire: thread id %d overflows int64", v)
+	}
+	return int64(v), nil
+}
+
+// Next returns the next event, io.EOF at a clean end of stream, or an
+// error describing the corruption. String-table records are consumed
+// internally.
+func (d *Decoder) Next() (Event, error) {
+	for {
+		opByte, err := d.r.ReadByte()
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		if err != nil {
+			return Event{}, err
+		}
+		op := Op(opByte)
+		switch op {
+		case OpString:
+			n, err := d.uvarint()
+			if err != nil {
+				return Event{}, err
+			}
+			if n > MaxStringLen {
+				return Event{}, fmt.Errorf("wire: site string length %d exceeds limit %d", n, MaxStringLen)
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(d.r, buf); err != nil {
+				return Event{}, fmt.Errorf("wire: reading site string: %w", noEOF(err))
+			}
+			d.strings = append(d.strings, string(buf))
+		case OpFork, OpBegin:
+			t, err := d.tid()
+			if err != nil {
+				return Event{}, err
+			}
+			return Event{Op: op, T1: t}, nil
+		case OpJoin:
+			l, err := d.tid()
+			if err != nil {
+				return Event{}, err
+			}
+			r, err := d.tid()
+			if err != nil {
+				return Event{}, err
+			}
+			return Event{Op: op, T1: l, T2: r}, nil
+		case OpRead, OpWrite, OpReadSite, OpWriteSite:
+			t, err := d.tid()
+			if err != nil {
+				return Event{}, err
+			}
+			addr, err := d.uvarint()
+			if err != nil {
+				return Event{}, err
+			}
+			ev := Event{Op: op, T1: t, Addr: addr}
+			if op == OpReadSite || op == OpWriteSite {
+				idx, err := d.uvarint()
+				if err != nil {
+					return Event{}, err
+				}
+				if idx >= uint64(len(d.strings)) {
+					return Event{}, fmt.Errorf("wire: site index %d out of range (table has %d)", idx, len(d.strings))
+				}
+				ev.Site, ev.HasSite = d.strings[idx], true
+				if op == OpReadSite {
+					ev.Op = OpRead
+				} else {
+					ev.Op = OpWrite
+				}
+			}
+			return ev, nil
+		case OpAcquire, OpRelease:
+			t, err := d.tid()
+			if err != nil {
+				return Event{}, err
+			}
+			lock, err := binary.ReadVarint(d.r)
+			if err != nil {
+				return Event{}, fmt.Errorf("wire: reading mutex id: %w", noEOF(err))
+			}
+			return Event{Op: op, T1: t, Lock: lock}, nil
+		default:
+			return Event{}, fmt.Errorf("wire: unknown opcode 0x%02x", opByte)
+		}
+	}
+}

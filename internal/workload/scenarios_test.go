@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/spt"
+)
+
+// TestScenarioDeterminism pins the property the trace subsystem relies
+// on: building the same scenario twice yields structurally identical
+// programs with identical step lists.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			a := sc.Build(48, 7)
+			b := sc.Build(48, 7)
+			if a.NumThreads() != b.NumThreads() || a.Len() != b.Len() {
+				t.Fatalf("rebuild changed shape: %d/%d threads, %d/%d nodes",
+					a.NumThreads(), b.NumThreads(), a.Len(), b.Len())
+			}
+			at, bt := a.Threads(), b.Threads()
+			for i := range at {
+				as, bs := at[i].Steps, bt[i].Steps
+				if len(as) != len(bs) {
+					t.Fatalf("thread %d: %d vs %d steps", i, len(as), len(bs))
+				}
+				for k := range as {
+					if as[k] != bs[k] {
+						t.Fatalf("thread %d step %d: %v vs %v", i, k, as[k], bs[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioShapes sanity-checks each scenario's advertised
+// structure.
+func TestScenarioShapes(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sc := range Scenarios() {
+		if sc.Name == "" || sc.Description == "" {
+			t.Fatalf("scenario lacks name or description: %+v", sc)
+		}
+		if seen[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		tr := sc.Build(32, 3)
+		if tr.NumThreads() < 2 {
+			t.Fatalf("%s: only %d threads", sc.Name, tr.NumThreads())
+		}
+		steps := 0
+		locks := 0
+		for _, l := range tr.Threads() {
+			steps += len(l.Steps)
+			for _, st := range l.Steps {
+				if st.Op == spt.Acquire || st.Op == spt.Release {
+					locks++
+				}
+			}
+		}
+		if steps == 0 {
+			t.Fatalf("%s: no memory accesses attached", sc.Name)
+		}
+		if sc.Name == "lockheavy" && locks == 0 {
+			t.Fatal("lockheavy: no lock operations")
+		}
+	}
+	if _, ok := ScenarioByName("forkjoin"); !ok {
+		t.Fatal("ScenarioByName(forkjoin) not found")
+	}
+	if _, ok := ScenarioByName("no-such"); ok {
+		t.Fatal("ScenarioByName(no-such) found")
+	}
+	if len(ScenarioNames()) != len(Scenarios()) {
+		t.Fatal("ScenarioNames length mismatch")
+	}
+}

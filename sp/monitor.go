@@ -2,11 +2,13 @@ package sp
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/shadow"
+	"repro/internal/wire"
 )
 
 // AccessKind distinguishes the two accesses of a reported race.
@@ -90,6 +92,7 @@ type config struct {
 	workers    int
 	raceDetect bool
 	lockAware  bool
+	traceW     io.Writer
 }
 
 // Option configures a Monitor.
@@ -112,6 +115,15 @@ func WithRaceDetection(on bool) Option { return func(c *config) { c.raceDetect =
 // at the two accesses are disjoint. Implies race detection.
 func WithLockAwareness(on bool) Option { return func(c *config) { c.lockAware = on } }
 
+// WithTrace records every event the Monitor applies — Fork, Join,
+// Begin, Read, Write, Acquire, Release — to w in the binary trace
+// format that package repro/sp/trace reads back (trace.Replay feeds a
+// recorded stream through any registered backend). Access sites are
+// rendered with fmt.Sprint and interned in the trace's string table.
+// The stream is buffered; Report flushes it, and write errors are
+// sticky and surfaced by TraceErr.
+func WithTrace(w io.Writer) Option { return func(c *config) { c.traceW = w } }
+
 // Monitor maintains SP relationships over a live stream of fork, join,
 // access, and lock events, optionally detecting determinacy races on the
 // fly. Create one with NewMonitor; the zero Monitor is not valid.
@@ -127,6 +139,7 @@ type Monitor struct {
 
 	raceDetect bool
 	lockAware  bool
+	trace      *wire.Encoder // nil unless WithTrace
 
 	threadMu sync.RWMutex
 	threads  []*threadState
@@ -171,6 +184,9 @@ func NewMonitor(opts ...Option) (*Monitor, error) {
 		mem:        shadow.NewMemory[ThreadID](8 * cfg.workers),
 		locked:     map[uint64][]lockEntry{},
 		raceCh:     make(chan Race, 64*cfg.workers),
+	}
+	if cfg.traceW != nil {
+		m.trace = wire.NewEncoder(cfg.traceW)
 	}
 	m.main = m.newThread()
 	m.backend.Start(m.main)
@@ -226,6 +242,9 @@ func (m *Monitor) begin(t ThreadID, st *threadState) {
 	if !st.begun {
 		st.begun = true
 		m.backend.Begin(t)
+		if m.trace != nil {
+			m.trace.Begin(int64(t))
+		}
 	}
 }
 
@@ -254,6 +273,11 @@ func (m *Monitor) Fork(parent ThreadID) (left, right ThreadID) {
 	m.begin(parent, st)
 	left, right = m.newThread(), m.newThread()
 	m.backend.Fork(parent, left, right)
+	if m.trace != nil {
+		// The spawned IDs are implicit in the trace: a fresh Monitor
+		// re-allocates them densely in record order on replay.
+		m.trace.Fork(int64(parent))
+	}
 	st.retired = true
 	st.held = nil
 	m.forks.Add(1)
@@ -274,6 +298,9 @@ func (m *Monitor) Join(left, right ThreadID) (cont ThreadID) {
 	m.checkLive(right, rst, "Join")
 	cont = m.newThread()
 	m.backend.Join(left, right, cont)
+	if m.trace != nil {
+		m.trace.Join(int64(left), int64(right))
+	}
 	lst.retired, rst.retired = true, true
 	lst.held, rst.held = nil, nil
 	m.joins.Add(1)
@@ -302,6 +329,9 @@ func (m *Monitor) Acquire(t ThreadID, lock int) {
 	}
 	m.checkLive(t, st, "Acquire")
 	m.begin(t, st)
+	if m.trace != nil {
+		m.trace.Acquire(int64(t), int64(lock))
+	}
 	if st.held == nil {
 		st.held = map[int]int{}
 	}
@@ -321,6 +351,9 @@ func (m *Monitor) Release(t ThreadID, lock int) {
 	m.begin(t, st)
 	if st.held[lock] == 0 {
 		panic(fmt.Sprintf("sp: release of unheld mutex m%d by thread t%d", lock, t))
+	}
+	if m.trace != nil {
+		m.trace.Release(int64(t), int64(lock))
 	}
 	st.held[lock]--
 }
@@ -355,6 +388,13 @@ func (m *Monitor) access(t ThreadID, addr uint64, write bool, site any) {
 	}
 	m.checkLive(t, st, "access")
 	m.begin(t, st)
+	if m.trace != nil {
+		if site != nil {
+			m.trace.Access(int64(t), addr, write, true, fmt.Sprint(site))
+		} else {
+			m.trace.Access(int64(t), addr, write, false, "")
+		}
+	}
 	m.accesses.Add(1)
 	if !m.raceDetect {
 		return
@@ -444,6 +484,19 @@ func (m *Monitor) emit(r Race) {
 	}
 }
 
+// TraceErr returns the sticky error of the WithTrace recorder: nil
+// when every record has reached the underlying writer, nil also when
+// the Monitor records no trace. It flushes the buffered stream first
+// (as does Report), so an access that slipped past Report's finished
+// check on a synchronized backend cannot leave its record stranded in
+// the buffer; check TraceErr after Report to confirm a complete trace.
+func (m *Monitor) TraceErr() error {
+	if m.trace == nil {
+		return nil
+	}
+	return m.trace.Flush()
+}
+
 // Races returns the streaming race channel. Races are delivered as they
 // are detected; the channel is closed by Report. If no receiver keeps
 // up, excess races are dropped from the stream (DroppedRaces counts
@@ -484,6 +537,9 @@ func (m *Monitor) Report() Report {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.finished.Store(true)
+	if m.trace != nil {
+		m.trace.Flush()
+	}
 	// Close the stream and snapshot the races in one critical section,
 	// so every race emitted before the close is in this snapshot.
 	m.raceMu.Lock()

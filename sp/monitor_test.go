@@ -1,6 +1,7 @@
 package sp_test
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"sync"
@@ -210,5 +211,53 @@ func TestRegistryListing(t *testing.T) {
 		if info.Description == "" || info.QueryBound == "" {
 			t.Fatalf("backend %s lacks documentation: %+v", info.Name, info)
 		}
+	}
+}
+
+// TestWithTraceRecordsAndFlushes checks the WithTrace option: events
+// are encoded to the sink, Report flushes the buffered stream, and
+// identical runs produce identical bytes (recording is deterministic).
+func TestWithTraceRecordsAndFlushes(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		m := sp.MustMonitor(sp.WithBackend("sp-order"), sp.WithTrace(&buf))
+		l, r := m.Fork(m.Main())
+		m.WriteAt(l, 7, "siteL")
+		m.Acquire(r, 3)
+		m.ReadAt(r, 7, "siteR")
+		m.Release(r, 3)
+		after := m.Join(l, r)
+		m.Read(after, 7)
+		if buf.Len() != 0 {
+			t.Fatal("trace reached the sink before Report flushed it")
+		}
+		rep := m.Report()
+		if err := m.TraceErr(); err != nil {
+			t.Fatalf("TraceErr: %v", err)
+		}
+		if rep.Forks != 1 || rep.Joins != 1 || rep.Accesses != 3 {
+			t.Fatalf("unexpected report %+v", rep)
+		}
+		return buf.Bytes()
+	}
+	first := run()
+	if !bytes.HasPrefix(first, []byte("SPTR")) {
+		t.Fatalf("trace does not start with the SPTR magic: %q", first[:min(8, len(first))])
+	}
+	if !bytes.Contains(first, []byte("siteL")) || !bytes.Contains(first, []byte("siteR")) {
+		t.Fatal("access sites not interned into the trace")
+	}
+	if second := run(); !bytes.Equal(first, second) {
+		t.Fatal("recording the same run twice produced different traces")
+	}
+}
+
+// TestWithTraceOffNoErr pins that TraceErr is nil without WithTrace.
+func TestWithTraceOffNoErr(t *testing.T) {
+	m := sp.MustMonitor()
+	m.Write(m.Main(), 1)
+	m.Report()
+	if err := m.TraceErr(); err != nil {
+		t.Fatalf("TraceErr without WithTrace: %v", err)
 	}
 }

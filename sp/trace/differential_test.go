@@ -1,0 +1,124 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+	"repro/sp"
+	"repro/sp/trace"
+)
+
+// recordScenario builds the named scenario deterministically, records
+// its serial replay on sp-order, and returns the trace and the live
+// report.
+func recordScenario(t *testing.T, sc workload.Scenario, threads int, seed int64, opts ...sp.Option) ([]byte, sp.Report) {
+	t.Helper()
+	var buf bytes.Buffer
+	rep, err := workload.RecordTrace(sc.Build(threads, seed), &buf, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rep
+}
+
+// TestDifferentialReplayAllBackends is the subsystem's acceptance
+// criterion: for every workload shape, recording a deterministic
+// serial run live and replaying the resulting trace yields an
+// identical report — same races, same counters, same relations — on
+// EVERY registered backend.
+func TestDifferentialReplayAllBackends(t *testing.T) {
+	for _, sc := range workload.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			data, liveRep := recordScenario(t, sc, 48, 5)
+			liveSig := trace.Signature(liveRep)
+			reports, err := trace.Differential(data, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reports) != len(sp.BackendNames()) {
+				t.Fatalf("differential covered %d backends, registry has %d",
+					len(reports), len(sp.BackendNames()))
+			}
+			for name, rep := range reports {
+				if sig := trace.Signature(rep); sig != liveSig {
+					t.Errorf("%s: replayed signature diverges from the live run:\nlive:\n%s\nreplay:\n%s",
+						name, liveSig, sig)
+				}
+				if rep.Backend != name {
+					t.Errorf("report backend %q under key %q", rep.Backend, name)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialLockAware repeats the harness under the ALL-SETS
+// protocol on the lock-heavy shape: lock sets ride along in the trace,
+// so lock-aware replay must also agree with the lock-aware live run.
+func TestDifferentialLockAware(t *testing.T) {
+	sc, ok := workload.ScenarioByName("lockheavy")
+	if !ok {
+		t.Fatal("lockheavy scenario missing")
+	}
+	data, liveRep := recordScenario(t, sc, 32, 9, sp.WithLockAwareness(true))
+	liveSig := trace.Signature(liveRep)
+	reports, err := trace.Differential(data, nil, sp.WithLockAwareness(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range reports {
+		if sig := trace.Signature(rep); sig != liveSig {
+			t.Errorf("%s: lock-aware signature diverges:\nlive:\n%s\nreplay:\n%s", name, liveSig, sig)
+		}
+	}
+	// The pure determinacy view of the same trace must flag at least as
+	// many locations as the lock-aware one.
+	plain, err := trace.ReplayBackend(data, "sp-order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Locations) < len(liveRep.Locations) {
+		t.Fatalf("determinacy view flags %v, lock-aware %v", plain.Locations, liveRep.Locations)
+	}
+}
+
+// TestRecordReplayRecordFixpoint re-records a replay of a recorded
+// trace and requires byte-identical output: the trace pipeline loses
+// nothing.
+func TestRecordReplayRecordFixpoint(t *testing.T) {
+	sc, ok := workload.ScenarioByName("planted")
+	if !ok {
+		t.Fatal("planted scenario missing")
+	}
+	data, _ := recordScenario(t, sc, 40, 3)
+	var rebuf bytes.Buffer
+	m := sp.MustMonitor(sp.WithBackend("sp-bags"), sp.WithTrace(&rebuf))
+	if err := trace.Replay(bytes.NewReader(data), m); err != nil {
+		t.Fatal(err)
+	}
+	m.Report()
+	if !bytes.Equal(data, rebuf.Bytes()) {
+		t.Fatalf("re-recorded trace differs: %d vs %d bytes", len(data), rebuf.Len())
+	}
+}
+
+// TestDifferentialDetectsDivergence pins that the harness actually
+// fails when reports differ: replaying a racy trace with detection on
+// and off cannot produce equal signatures, so a doctored comparison
+// must trip.
+func TestDifferentialDetectsDivergence(t *testing.T) {
+	sc, _ := workload.ScenarioByName("forkjoin")
+	data, liveRep := recordScenario(t, sc, 32, 5)
+	if len(liveRep.Races) == 0 {
+		t.Fatal("forkjoin scenario should race")
+	}
+	off, err := trace.ReplayBackend(data, "sp-order", sp.WithRaceDetection(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Signature(off) == trace.Signature(liveRep) {
+		t.Fatal("signature blind to race output")
+	}
+}

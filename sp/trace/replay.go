@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/sp"
+)
+
+// Replay reads the trace from r and feeds every event through monitor
+// m, which must be fresh (no events applied since NewMonitor) so that
+// its dense thread-ID allocation reproduces the recorded IDs. The
+// trace is validated as it is applied — forks of retired threads,
+// ill-formed joins, events of unknown threads, and unbalanced releases
+// are reported as errors rather than panics, so hostile or corrupted
+// traces cannot crash a replaying tool.
+//
+// The backend must accept the trace's event order: any backend can
+// replay a trace recorded from a serial execution, while traces
+// recorded from live concurrent programs (which are merely
+// creation-respecting) need an AnyOrder backend.
+func Replay(r io.Reader, m *sp.Monitor) (err error) {
+	defer func() {
+		// The Monitor panics on protocol misuse; a trace that passes
+		// this function's validation but still trips a backend (e.g. a
+		// concurrent-order trace replayed into a serial backend) should
+		// surface as an error, not kill the process.
+		if p := recover(); p != nil {
+			err = fmt.Errorf("trace: replay: %v", p)
+		}
+	}()
+	rd, err := NewReader(r)
+	if err != nil {
+		return err
+	}
+	next := sp.ThreadID(1)                // next ID a fresh monitor will allocate
+	live := map[sp.ThreadID]bool{0: true} // threads created and not retired
+	held := map[sp.ThreadID]map[int]int{} // lock multisets, mirroring the monitor
+	checkLive := func(i int64, ev Event, t sp.ThreadID) error {
+		if !live[t] {
+			return fmt.Errorf("trace: event %d (%s): thread t%d is not live", i, ev, t)
+		}
+		return nil
+	}
+	for i := int64(0); ; i++ {
+		ev, rerr := rd.Next()
+		if rerr == io.EOF {
+			return nil
+		}
+		if rerr != nil {
+			return fmt.Errorf("trace: event %d: %w", i, rerr)
+		}
+		switch ev.Op {
+		case Fork:
+			if err := checkLive(i, ev, ev.Parent); err != nil {
+				return err
+			}
+			l, r := m.Fork(ev.Parent)
+			if l != next || r != next+1 {
+				return fmt.Errorf("trace: monitor is not fresh: fork created t%d,t%d, trace expects t%d,t%d", l, r, next, next+1)
+			}
+			next += 2
+			delete(live, ev.Parent)
+			delete(held, ev.Parent)
+			live[l], live[r] = true, true
+		case Join:
+			if ev.Left == ev.Right {
+				return fmt.Errorf("trace: event %d: join of t%d with itself", i, ev.Left)
+			}
+			if err := checkLive(i, ev, ev.Left); err != nil {
+				return err
+			}
+			if err := checkLive(i, ev, ev.Right); err != nil {
+				return err
+			}
+			cont := m.Join(ev.Left, ev.Right)
+			if cont != next {
+				return fmt.Errorf("trace: monitor is not fresh: join created t%d, trace expects t%d", cont, next)
+			}
+			next++
+			delete(live, ev.Left)
+			delete(live, ev.Right)
+			delete(held, ev.Left)
+			delete(held, ev.Right)
+			live[cont] = true
+		case Begin:
+			if err := checkLive(i, ev, ev.Thread); err != nil {
+				return err
+			}
+			m.Begin(ev.Thread)
+		case Read, Write:
+			if err := checkLive(i, ev, ev.Thread); err != nil {
+				return err
+			}
+			switch {
+			case ev.Op == Read && ev.HasSite:
+				m.ReadAt(ev.Thread, ev.Addr, ev.Site)
+			case ev.Op == Read:
+				m.Read(ev.Thread, ev.Addr)
+			case ev.HasSite:
+				m.WriteAt(ev.Thread, ev.Addr, ev.Site)
+			default:
+				m.Write(ev.Thread, ev.Addr)
+			}
+		case Acquire:
+			if err := checkLive(i, ev, ev.Thread); err != nil {
+				return err
+			}
+			m.Acquire(ev.Thread, ev.Lock)
+			hs := held[ev.Thread]
+			if hs == nil {
+				hs = map[int]int{}
+				held[ev.Thread] = hs
+			}
+			hs[ev.Lock]++
+		case Release:
+			if err := checkLive(i, ev, ev.Thread); err != nil {
+				return err
+			}
+			if held[ev.Thread][ev.Lock] == 0 {
+				return fmt.Errorf("trace: event %d: release of unheld mutex m%d by t%d", i, ev.Lock, ev.Thread)
+			}
+			m.Release(ev.Thread, ev.Lock)
+			held[ev.Thread][ev.Lock]--
+		default:
+			return fmt.Errorf("trace: event %d: unexpected op %v", i, ev.Op)
+		}
+	}
+}
+
+// ReplayBackend replays the in-memory trace through a fresh Monitor on
+// the named backend (appended after opts, so it wins over any
+// WithBackend among them) and returns the final report.
+func ReplayBackend(data []byte, backend string, opts ...sp.Option) (sp.Report, error) {
+	opts = append(append([]sp.Option(nil), opts...), sp.WithBackend(backend))
+	m, err := sp.NewMonitor(opts...)
+	if err != nil {
+		return sp.Report{}, err
+	}
+	if err := Replay(bytes.NewReader(data), m); err != nil {
+		return sp.Report{}, fmt.Errorf("%s: %w", backend, err)
+	}
+	return m.Report(), nil
+}
+
+// Signature renders the backend-independent content of a report in a
+// deterministic text form: structural counters, the raced locations,
+// and every race in detection order (sites rendered with fmt.Sprint,
+// which makes a live report and its trace replay comparable — the
+// replayed site is exactly the interned rendering of the live one).
+// Two monitored runs of the same execution agree if and only if their
+// signatures are equal. The backend name and DroppedRaces (a property
+// of the streaming channel, not of the execution) are excluded.
+func Signature(rep sp.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "threads=%d forks=%d joins=%d accesses=%d queries=%d\n",
+		rep.Threads, rep.Forks, rep.Joins, rep.Accesses, rep.Queries)
+	fmt.Fprintf(&b, "locations=%v\n", rep.Locations)
+	fmt.Fprintf(&b, "races=%d\n", len(rep.Races))
+	for _, r := range rep.Races {
+		fmt.Fprintf(&b, "%v\n", r)
+	}
+	return b.String()
+}
+
+// Differential replays one trace through every named backend (all
+// registered backends when backends is nil) and checks that they
+// produce identical signatures — the on-the-fly maintainers are
+// interchangeable, so any divergence is a bug in a backend or in the
+// trace pipeline. It returns the per-backend reports; the error names
+// the first diverging backend and includes both signatures.
+func Differential(data []byte, backends []string, opts ...sp.Option) (map[string]sp.Report, error) {
+	if backends == nil {
+		backends = sp.BackendNames()
+	}
+	reports := make(map[string]sp.Report, len(backends))
+	var refName, refSig string
+	for _, name := range backends {
+		rep, err := ReplayBackend(data, name, opts...)
+		if err != nil {
+			return reports, err
+		}
+		reports[name] = rep
+		sig := Signature(rep)
+		if refName == "" {
+			refName, refSig = name, sig
+			continue
+		}
+		if sig != refSig {
+			return reports, fmt.Errorf("trace: backend %s diverges from %s:\n--- %s ---\n%s--- %s ---\n%s",
+				name, refName, refName, refSig, name, sig)
+		}
+	}
+	return reports, nil
+}

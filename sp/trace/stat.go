@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Stats summarizes a trace without replaying it through a monitor.
+type Stats struct {
+	// Version is the trace format version.
+	Version int
+	// Bytes is the total encoded size, header included.
+	Bytes int64
+	// Events counts all event records (string-table records excluded).
+	Events int64
+	// Per-kind event counts.
+	Forks, Joins, Begins, Reads, Writes, Acquires, Releases int64
+	// Threads is the number of thread IDs the trace allocates
+	// (1 + 2·Forks + Joins, counting the main thread).
+	Threads int64
+	// PeakParallel is the maximum number of simultaneously live
+	// threads at any prefix of the trace — the execution's peak
+	// logical parallelism.
+	PeakParallel int64
+	// Addrs and Locks count distinct accessed addresses and mutexes.
+	Addrs, Locks int
+	// Sites counts distinct interned access-site strings.
+	Sites int
+}
+
+// String renders the stats as an aligned block, one field per line.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %d\n", "version", s.Version)
+	fmt.Fprintf(&b, "%-14s %d\n", "bytes", s.Bytes)
+	fmt.Fprintf(&b, "%-14s %d\n", "events", s.Events)
+	fmt.Fprintf(&b, "%-14s %d\n", "forks", s.Forks)
+	fmt.Fprintf(&b, "%-14s %d\n", "joins", s.Joins)
+	fmt.Fprintf(&b, "%-14s %d\n", "begins", s.Begins)
+	fmt.Fprintf(&b, "%-14s %d\n", "reads", s.Reads)
+	fmt.Fprintf(&b, "%-14s %d\n", "writes", s.Writes)
+	fmt.Fprintf(&b, "%-14s %d\n", "acquires", s.Acquires)
+	fmt.Fprintf(&b, "%-14s %d\n", "releases", s.Releases)
+	fmt.Fprintf(&b, "%-14s %d\n", "threads", s.Threads)
+	fmt.Fprintf(&b, "%-14s %d\n", "peak-parallel", s.PeakParallel)
+	fmt.Fprintf(&b, "%-14s %d\n", "addresses", s.Addrs)
+	fmt.Fprintf(&b, "%-14s %d\n", "mutexes", s.Locks)
+	fmt.Fprintf(&b, "%-14s %d", "sites", s.Sites)
+	return b.String()
+}
+
+// countingReader counts bytes consumed from the underlying reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Stat streams the trace once and returns its summary. Like Replay it
+// errors (never panics) on corrupted or truncated input.
+func Stat(r io.Reader) (Stats, error) {
+	cr := &countingReader{r: r}
+	rd, err := NewReader(cr)
+	if err != nil {
+		return Stats{}, err
+	}
+	s := Stats{Version: rd.Version(), Threads: 1, PeakParallel: 1}
+	addrs := map[uint64]bool{}
+	locks := map[int]bool{}
+	sites := map[string]bool{}
+	live := int64(1)
+	for {
+		ev, err := rd.Next()
+		if err == io.EOF {
+			s.Bytes = cr.n
+			s.Addrs, s.Locks, s.Sites = len(addrs), len(locks), len(sites)
+			return s, nil
+		}
+		if err != nil {
+			return s, err
+		}
+		s.Events++
+		switch ev.Op {
+		case Fork:
+			s.Forks++
+			s.Threads += 2
+			live++ // parent retires, two threads begin
+			if live > s.PeakParallel {
+				s.PeakParallel = live
+			}
+		case Join:
+			s.Joins++
+			s.Threads++
+			live--
+		case Begin:
+			s.Begins++
+		case Read, Write:
+			if ev.Op == Read {
+				s.Reads++
+			} else {
+				s.Writes++
+			}
+			addrs[ev.Addr] = true
+			if ev.HasSite {
+				sites[ev.Site] = true
+			}
+		case Acquire:
+			s.Acquires++
+			locks[ev.Lock] = true
+		case Release:
+			s.Releases++
+			locks[ev.Lock] = true
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package trace records, replays, and analyzes sp.Monitor event
+// streams as compact binary traces, giving an execution monitored once
+// a durable form: it can be persisted, shared, diffed, re-analyzed
+// under a different SP-maintenance backend, and used as a benchmark
+// input — the missing layer between event generation and on-the-fly SP
+// maintenance.
+//
+// # Format
+//
+// A trace is the 4-byte magic "SPTR", a uvarint format version
+// (currently 1), and a flat stream of varint-encoded records, one per
+// monitor event (see repro/internal/wire for the exact layout). Fork
+// and Join records carry only their inputs; the thread IDs they create
+// are implicit because a fresh Monitor allocates IDs densely in event
+// order, so Replay reproduces them exactly. Access sites (the values
+// passed to ReadAt/WriteAt) are rendered with fmt.Sprint and interned
+// in an in-stream string table: the first use defines the string, and
+// later accesses reference its index. Readers reject traces with a
+// newer version than they understand; corrupted or truncated input
+// yields an error, never a panic.
+//
+// # Recording and replaying
+//
+// Recording is a Monitor option:
+//
+//	var buf bytes.Buffer
+//	m := sp.MustMonitor(sp.WithBackend("sp-hybrid"), sp.WithTrace(&buf))
+//	// ... report events as usual ...
+//	rep := m.Report() // flushes the trace; check m.TraceErr()
+//
+// Replay feeds a recorded stream back through any registered backend:
+//
+//	m2 := sp.MustMonitor(sp.WithBackend("sp-bags"))
+//	err := trace.Replay(bytes.NewReader(buf.Bytes()), m2)
+//	rep2 := m2.Report()
+//
+// A trace recorded from a serial execution (e.g. sp.Replay of a parse
+// tree) is in serial depth-first order and replays through every
+// backend; a trace recorded from a live concurrent program is merely
+// creation-respecting, so it replays through the any-order backends
+// (sp-order, sp-hybrid). Differential replays one trace through many
+// backends and checks that they produce identical reports; Stat
+// summarizes a trace without replaying it.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/wire"
+	"repro/sp"
+)
+
+// Op identifies one event kind in a trace.
+type Op uint8
+
+// The event kinds. Site-carrying reads and writes decode as Read and
+// Write with Event.HasSite set.
+const (
+	Fork Op = iota + 1
+	Join
+	Begin
+	Read
+	Write
+	Acquire
+	Release
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case Fork:
+		return "fork"
+	case Join:
+		return "join"
+	case Begin:
+		return "begin"
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Acquire:
+		return "acquire"
+	case Release:
+		return "release"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Event is one decoded trace record, mirroring the sp.Monitor call it
+// was recorded from. Only the fields of its Op are meaningful.
+type Event struct {
+	Op Op
+	// Parent is the forking thread (Fork).
+	Parent sp.ThreadID
+	// Left and Right are the joined threads (Join).
+	Left, Right sp.ThreadID
+	// Thread is the acting thread (Begin, Read, Write, Acquire, Release).
+	Thread sp.ThreadID
+	// Addr is the accessed address (Read, Write).
+	Addr uint64
+	// Lock is the mutex (Acquire, Release).
+	Lock int
+	// Site and HasSite carry the access's interned site (Read, Write).
+	Site    string
+	HasSite bool
+}
+
+// String renders the event in a compact one-line form.
+func (ev Event) String() string {
+	switch ev.Op {
+	case Fork:
+		return fmt.Sprintf("fork t%d", ev.Parent)
+	case Join:
+		return fmt.Sprintf("join t%d t%d", ev.Left, ev.Right)
+	case Begin:
+		return fmt.Sprintf("begin t%d", ev.Thread)
+	case Read, Write:
+		if ev.HasSite {
+			return fmt.Sprintf("%s t%d x%d @%q", ev.Op, ev.Thread, ev.Addr, ev.Site)
+		}
+		return fmt.Sprintf("%s t%d x%d", ev.Op, ev.Thread, ev.Addr)
+	case Acquire, Release:
+		return fmt.Sprintf("%s t%d m%d", ev.Op, ev.Thread, ev.Lock)
+	default:
+		return ev.Op.String()
+	}
+}
+
+// Writer streams events to w in the binary trace format. It implements
+// the same event vocabulary as sp.Monitor, so a trace can also be
+// synthesized directly (e.g. by a generator or a trace rewriter)
+// rather than recorded. Methods are safe for concurrent use; errors
+// are sticky — check Err or the result of Flush.
+type Writer struct {
+	e *wire.Encoder
+}
+
+// NewWriter wraps w and writes the trace header immediately.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{e: wire.NewEncoder(w)}
+}
+
+// Fork records a Fork(parent) event.
+func (w *Writer) Fork(parent sp.ThreadID) { w.e.Fork(int64(parent)) }
+
+// Join records a Join(left, right) event.
+func (w *Writer) Join(left, right sp.ThreadID) { w.e.Join(int64(left), int64(right)) }
+
+// Begin records a Begin(t) event.
+func (w *Writer) Begin(t sp.ThreadID) { w.e.Begin(int64(t)) }
+
+// Read records a site-less read by t at addr.
+func (w *Writer) Read(t sp.ThreadID, addr uint64) { w.e.Access(int64(t), addr, false, false, "") }
+
+// ReadAt records a read by t at addr with an interned site string.
+func (w *Writer) ReadAt(t sp.ThreadID, addr uint64, site string) {
+	w.e.Access(int64(t), addr, false, true, site)
+}
+
+// Write records a site-less write by t at addr.
+func (w *Writer) Write(t sp.ThreadID, addr uint64) { w.e.Access(int64(t), addr, true, false, "") }
+
+// WriteAt records a write by t at addr with an interned site string.
+func (w *Writer) WriteAt(t sp.ThreadID, addr uint64, site string) {
+	w.e.Access(int64(t), addr, true, true, site)
+}
+
+// Acquire records an Acquire(t, lock) event.
+func (w *Writer) Acquire(t sp.ThreadID, lock int) { w.e.Acquire(int64(t), int64(lock)) }
+
+// Release records a Release(t, lock) event.
+func (w *Writer) Release(t sp.ThreadID, lock int) { w.e.Release(int64(t), int64(lock)) }
+
+// WriteEvent records ev, dispatching on its Op. It returns an error
+// only for an invalid Op; encoding errors stay sticky as usual.
+func (w *Writer) WriteEvent(ev Event) error {
+	switch ev.Op {
+	case Fork:
+		w.Fork(ev.Parent)
+	case Join:
+		w.Join(ev.Left, ev.Right)
+	case Begin:
+		w.Begin(ev.Thread)
+	case Read:
+		if ev.HasSite {
+			w.ReadAt(ev.Thread, ev.Addr, ev.Site)
+		} else {
+			w.Read(ev.Thread, ev.Addr)
+		}
+	case Write:
+		if ev.HasSite {
+			w.WriteAt(ev.Thread, ev.Addr, ev.Site)
+		} else {
+			w.Write(ev.Thread, ev.Addr)
+		}
+	case Acquire:
+		w.Acquire(ev.Thread, ev.Lock)
+	case Release:
+		w.Release(ev.Thread, ev.Lock)
+	default:
+		return fmt.Errorf("trace: cannot encode event with op %v", ev.Op)
+	}
+	return nil
+}
+
+// Flush drains buffered records to the underlying writer and returns
+// the sticky error, if any.
+func (w *Writer) Flush() error { return w.e.Flush() }
+
+// Err returns the sticky encoding error.
+func (w *Writer) Err() error { return w.e.Err() }
+
+// Reader streams events from a binary trace. It is not safe for
+// concurrent use.
+type Reader struct {
+	d *wire.Decoder
+}
+
+// NewReader wraps r, validating the trace header. It rejects streams
+// that do not start with the trace magic and versions newer than this
+// package understands.
+func NewReader(r io.Reader) (*Reader, error) {
+	d, err := wire.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{d: d}, nil
+}
+
+// Version returns the trace's format version.
+func (r *Reader) Version() int { return r.d.Version() }
+
+// Next returns the next event, io.EOF at a clean end of trace, or an
+// error describing the corruption. It never panics on hostile input.
+func (r *Reader) Next() (Event, error) {
+	wev, err := r.d.Next()
+	if err != nil {
+		return Event{}, err
+	}
+	switch wev.Op {
+	case wire.OpFork:
+		return Event{Op: Fork, Parent: sp.ThreadID(wev.T1)}, nil
+	case wire.OpJoin:
+		return Event{Op: Join, Left: sp.ThreadID(wev.T1), Right: sp.ThreadID(wev.T2)}, nil
+	case wire.OpBegin:
+		return Event{Op: Begin, Thread: sp.ThreadID(wev.T1)}, nil
+	case wire.OpRead, wire.OpWrite:
+		op := Read
+		if wev.Op == wire.OpWrite {
+			op = Write
+		}
+		return Event{Op: op, Thread: sp.ThreadID(wev.T1), Addr: wev.Addr,
+			Site: wev.Site, HasSite: wev.HasSite}, nil
+	case wire.OpAcquire, wire.OpRelease:
+		op := Acquire
+		if wev.Op == wire.OpRelease {
+			op = Release
+		}
+		if wev.Lock != int64(int(wev.Lock)) {
+			return Event{}, fmt.Errorf("trace: mutex id %d overflows int", wev.Lock)
+		}
+		return Event{Op: op, Thread: sp.ThreadID(wev.T1), Lock: int(wev.Lock)}, nil
+	default:
+		return Event{}, fmt.Errorf("trace: decoder yielded unexpected opcode %d", wev.Op)
+	}
+}
+
+// ReadAll decodes every event of the trace in data. It is a
+// convenience for tools that need random access; streaming callers
+// should use Reader.
+func ReadAll(r io.Reader) ([]Event, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var evs []Event
+	for {
+		ev, err := rd.Next()
+		if err == io.EOF {
+			return evs, nil
+		}
+		if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+}
