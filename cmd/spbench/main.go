@@ -25,6 +25,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -36,17 +39,22 @@ import (
 )
 
 var (
-	quick       = flag.Bool("quick", false, "smaller workloads, fewer repetitions")
-	backendFlag = flag.String("backend", "all", "restrict the Corollary 6 and trace tables to one registered backend")
-	jsonFlag    = flag.Bool("json", false, "emit the trace-driven benchmark as JSON (implies -table trace)")
+	quick          = flag.Bool("quick", false, "smaller workloads, fewer repetitions")
+	backendFlag    = flag.String("backend", "all", "restrict the Corollary 6 and trace tables to one registered backend")
+	jsonFlag       = flag.Bool("json", false, "emit the selected benchmark (-table trace or concurrent) as JSON")
+	goroutinesFlag = flag.String("goroutines", "", "comma-separated goroutine counts for -table concurrent (default: powers of two up to max(4, NumCPU), plus NumCPU)")
 )
 
 func main() {
-	table := flag.String("table", "all", "which experiment: fig3|t5|c6|t10|s7|trace|all")
+	table := flag.String("table", "all", "which experiment: fig3|t5|c6|t10|s7|trace|concurrent|all")
 	flag.Parse()
 
 	if *jsonFlag {
-		traceBench(true)
+		if *table == "concurrent" {
+			concurrentBench(true)
+		} else {
+			traceBench(true)
+		}
 		return
 	}
 	fmt.Printf("spbench: GOMAXPROCS=%d NumCPU=%d quick=%v\n\n",
@@ -64,6 +72,8 @@ func main() {
 		section7()
 	case "trace":
 		traceBench(false)
+	case "concurrent":
+		concurrentBench(false)
 	case "all":
 		fig3()
 		theorem5()
@@ -71,6 +81,7 @@ func main() {
 		theorem10()
 		section7()
 		traceBench(false)
+		concurrentBench(false)
 	default:
 		fmt.Println("unknown table:", *table)
 	}
@@ -425,6 +436,198 @@ func traceBench(jsonOut bool) {
 	}
 	fmt.Println("(whole-pipeline cost: trace decode + event validation + SP maintenance + race detection;")
 	fmt.Println(" commit `spbench -json` output as BENCH_<host>.json to track the trajectory)")
+	fmt.Println()
+}
+
+// concurrentBenchResult is one (workload, goroutines) measurement of
+// the live-monitor scaling benchmark; the JSON field names are the
+// committed BENCH_concurrent.json schema.
+type concurrentBenchResult struct {
+	Workload       string  `json:"workload"`
+	Backend        string  `json:"backend"`
+	Goroutines     int     `json:"goroutines"`
+	Accesses       int64   `json:"accesses"`
+	Races          int     `json:"races"`
+	NsPerAccess    float64 `json:"nsPerAccess"`
+	AccessesPerSec float64 `json:"accessesPerSec"`
+	SpeedupVs1     float64 `json:"speedupVs1"`
+}
+
+// concurrentBenchDoc is the -table concurrent -json output envelope.
+type concurrentBenchDoc struct {
+	GoMaxProcs           int                     `json:"gomaxprocs"`
+	NumCPU               int                     `json:"numcpu"`
+	Quick                bool                    `json:"quick"`
+	AccessesPerGoroutine int                     `json:"accessesPerGoroutine"`
+	Note                 string                  `json:"note"`
+	Results              []concurrentBenchResult `json:"results"`
+}
+
+// concurrentWorkloads mirrors the trace scenarios' access mixes as live
+// goroutine workloads: every goroutine is one monitored thread doing
+// reads over a shared address range (written serially by main before
+// the fork, so reads are race-free) and writes over a thread-private
+// range. The mix is the knob: readmostly writes 1/16 of the time, the
+// forkjoin-style mix 1/4.
+var concurrentWorkloads = []struct {
+	name       string
+	writeEvery int
+}{
+	{"readmostly", 16},
+	{"forkjoin", 4},
+}
+
+const concurrentSharedLocs = 64
+
+// runConcurrentWorkload forks g monitored goroutine-threads off one
+// live sp-hybrid monitor, lets each perform perG reads/writes through
+// its cached sp.Thread handle, and returns the wall time of the access
+// phase (forks, joins, and Report excluded) plus the run's race count.
+func runConcurrentWorkload(writeEvery, g, perG int) (time.Duration, int) {
+	m := sp.MustMonitor(sp.WithBackend("sp-hybrid"), sp.WithWorkers(g))
+	cur := m.Thread(m.Main())
+	for a := uint64(0); a < concurrentSharedLocs; a++ {
+		cur.Write(a) // main precedes every worker: reads below are race-free
+	}
+	workers := make([]sp.Thread, g)
+	for i := range workers {
+		workers[i], cur = cur.Fork()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range workers {
+		wg.Add(1)
+		go func(th sp.Thread, rng uint64) {
+			defer wg.Done()
+			priv := uint64(1)<<32 + uint64(th.ID())<<16
+			for k := 0; k < perG; k++ {
+				// xorshift64: cheap per-goroutine address stream.
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				if rng%uint64(writeEvery) == 0 {
+					th.Write(priv + rng%256)
+				} else {
+					th.Read(rng % concurrentSharedLocs)
+				}
+			}
+		}(workers[i], uint64(i+1)*0x9e3779b97f4a7c15)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i := g - 1; i >= 0; i-- {
+		cur = workers[i].Join(cur)
+	}
+	return elapsed, len(m.Report().Races)
+}
+
+// concurrentGoroutineCounts parses -goroutines, defaulting to powers of
+// two up to max(4, NumCPU) plus NumCPU itself.
+func concurrentGoroutineCounts() []int {
+	if *goroutinesFlag != "" {
+		var out []int
+		for _, f := range strings.Split(*goroutinesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -goroutines value %q\n", f)
+				os.Exit(2)
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	limit := runtime.NumCPU()
+	if limit < 4 {
+		limit = 4
+	}
+	var out []int
+	for g := 1; g <= limit; g *= 2 {
+		out = append(out, g)
+	}
+	if n := runtime.NumCPU(); n > 1 && out[len(out)-1] != n {
+		out = append(out, n)
+	}
+	return out
+}
+
+// concurrentBench measures aggregate Read/Write throughput of one live
+// sp-hybrid monitor under increasing goroutine counts — the scaling
+// proof of the sharded lock-free access fast path. On single-CPU hosts
+// it measures contention overhead under oversubscription (throughput
+// should hold roughly flat as goroutines grow) rather than wall-clock
+// speedup, as with the Theorem 10 experiment.
+func concurrentBench(jsonOut bool) {
+	perG := 200000
+	if *quick {
+		perG = 50000
+	}
+	counts := concurrentGoroutineCounts()
+	doc := concurrentBenchDoc{
+		GoMaxProcs:           runtime.GOMAXPROCS(0),
+		NumCPU:               runtime.NumCPU(),
+		Quick:                *quick,
+		AccessesPerGoroutine: perG,
+		Note: "accesses/sec is aggregate across goroutines; speedupVs1 is vs the 1-goroutine run " +
+			"of the same workload (0 when the run list has no preceding 1-goroutine baseline); " +
+			"on single-CPU hosts this measures oversubscription overhead, not parallel speedup",
+	}
+	if !jsonOut {
+		fmt.Println("=== Concurrent monitor scaling (sp-hybrid, sharded lock-free access path) ===")
+		fmt.Printf("%-12s %6s %12s %8s %12s %14s %10s\n",
+			"workload", "G", "accesses", "races", "ns/access", "accesses/sec", "vs G=1")
+	}
+	for _, w := range concurrentWorkloads {
+		var base float64
+		for _, g := range counts {
+			// Best access-phase time over the repetitions (monitor setup,
+			// forks, joins, and Report are excluded from the clock).
+			runtime.GC()
+			best := time.Duration(1<<62 - 1)
+			var races int
+			for i := 0; i < reps(); i++ {
+				e, r := runConcurrentWorkload(w.writeEvery, g, perG)
+				races = r
+				if e < best {
+					best = e
+				}
+			}
+			total := int64(g) * int64(perG)
+			nsPer := float64(best.Nanoseconds()) / float64(total)
+			perSec := 1e9 / nsPer // aggregate across goroutines
+			r := concurrentBenchResult{
+				Workload:       w.name,
+				Backend:        "sp-hybrid",
+				Goroutines:     g,
+				Accesses:       total,
+				Races:          races,
+				NsPerAccess:    nsPer,
+				AccessesPerSec: perSec,
+			}
+			if g == 1 {
+				base = perSec
+			}
+			if base > 0 {
+				r.SpeedupVs1 = perSec / base
+			}
+			doc.Results = append(doc.Results, r)
+			if !jsonOut {
+				fmt.Printf("%-12s %6d %12d %8d %12.1f %14.0f %9.2fx\n",
+					r.Workload, r.Goroutines, r.Accesses, r.Races, r.NsPerAccess, r.AccessesPerSec, r.SpeedupVs1)
+			}
+		}
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Println("(one live monitor, G goroutine-threads via cached sp.Thread handles; reads hit 64 shared")
+	fmt.Println(" locations, writes hit thread-private ones; commit `spbench -table concurrent -json` as")
+	fmt.Println(" BENCH_concurrent.json to track the scaling trajectory)")
 	fmt.Println()
 }
 

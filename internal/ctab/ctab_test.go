@@ -1,0 +1,79 @@
+package ctab
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPutGetDense(t *testing.T) {
+	var tab Table[int]
+	const n = 3*ChunkSize + 17
+	for i := int64(0); i < n; i++ {
+		v := int(i * 3)
+		tab.Put(i, &v)
+	}
+	for i := int64(0); i < n; i++ {
+		got := tab.Get(i)
+		if got == nil || *got != int(i*3) {
+			t.Fatalf("Get(%d) = %v, want %d", i, got, i*3)
+		}
+	}
+	if tab.Get(n) != nil || tab.Get(-1) != nil || tab.Get(1<<40) != nil {
+		t.Fatal("out-of-range Get must return nil")
+	}
+}
+
+func TestZeroValueEmpty(t *testing.T) {
+	var tab Table[string]
+	if tab.Get(0) != nil {
+		t.Fatal("zero table must be empty")
+	}
+}
+
+func TestOverwriteAndErase(t *testing.T) {
+	var tab Table[int]
+	a, b := 1, 2
+	tab.Put(5, &a)
+	tab.Put(5, &b)
+	if got := tab.Get(5); got == nil || *got != 2 {
+		t.Fatalf("overwrite lost: %v", got)
+	}
+	tab.Put(5, nil)
+	if tab.Get(5) != nil {
+		t.Fatal("erase failed")
+	}
+}
+
+// TestConcurrentPutGet hammers the table from many goroutines writing
+// disjoint dense ranges while readers poll, the access pattern of
+// Monitor thread registration. Run under -race this is the table's
+// publication-safety proof.
+func TestConcurrentPutGet(t *testing.T) {
+	var tab Table[int64]
+	workers := 4 * runtime.NumCPU()
+	const per = 2 * ChunkSize
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * per)
+			for i := int64(0); i < per; i++ {
+				v := base + i
+				tab.Put(base+i, &v)
+				// Read back something already published by this worker.
+				if got := tab.Get(base + i/2); got != nil && *got != base+i/2 {
+					t.Errorf("worker %d: Get(%d) = %d", w, base+i/2, *got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := int64(0); i < int64(workers*per); i++ {
+		if got := tab.Get(i); got == nil || *got != i {
+			t.Fatalf("Get(%d) = %v after concurrent fill", i, got)
+		}
+	}
+}

@@ -69,11 +69,8 @@ func (c *naiveClient) ExecThread(w int, f *sched.Frame, leaf *spt.Node) {
 		switch st.Op {
 		case spt.Read, spt.Write:
 			c.accesses.Add(1)
-			cell := c.sh.Cell(uint64(st.Loc))
-			unlock := c.sh.Lock(uint64(st.Loc))
 			var q int64
-			found := shadow.OnAccess(cell, rel, leaf, nil, st.Op == spt.Write, &q)
-			unlock()
+			found := c.sh.Access(uint64(st.Loc), rel, leaf, nil, st.Op == spt.Write, &q)
 			c.queries.Add(q)
 			if found != nil {
 				c.mu.Lock()

@@ -52,11 +52,8 @@ func DetectParallel(t *spt.Tree, workers int, seed int64, yield bool) ParallelRe
 			switch st.Op {
 			case spt.Read, spt.Write:
 				atomic.AddInt64(&accesses, 1)
-				c := sh.Cell(uint64(st.Loc))
-				unlock := sh.Lock(uint64(st.Loc))
 				var q int64
-				found := shadow.OnAccess(c, rel, u, nil, st.Op == spt.Write, &q)
-				unlock()
+				found := sh.Access(uint64(st.Loc), rel, u, nil, st.Op == spt.Write, &q)
 				atomic.AddInt64(&queries, q)
 				if found != nil {
 					mu.Lock()

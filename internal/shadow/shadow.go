@@ -12,6 +12,15 @@
 // event-driven monitor (package sp, A = sp.ThreadID) share one
 // implementation instead of the per-backend replay loops the repository
 // used to duplicate.
+//
+// Shadow state is sharded: Memory hashes each address onto one of N
+// power-of-two shards, each holding its own cell map under its own
+// mutex. Parallel accessors of distinct addresses therefore touch
+// disjoint locks with high probability, which is what lets the
+// sp.Monitor's access fast path scale — an access synchronizes only on
+// the owning shard, never on a global structure (the partitioned
+// detector-state idea of Utterback et al.'s future-aware race
+// detection, applied to fork-join shadow memory).
 package shadow
 
 import (
@@ -54,14 +63,42 @@ type Relative[A comparable] interface {
 	ParallelCurrent(prev A) bool
 }
 
-// Cell is one shadow-memory slot: the location's last writer and the one
-// retained reader, each with an optional user site (e.g. the source
-// thread of a replayed trace) carried into race reports.
+// OrderedRelative extends Relative with the two total orders behind
+// the SP relation: the English (serial depth-first) order and the
+// Hebrew (spawn-swapped) order. a ≺ b iff a is before b in both; a ∥ b
+// iff the orders disagree. The two-reader protocol (OnAccessOrdered)
+// needs them to retain the English-max and Hebrew-max readers.
+//
+// For a serial event stream the orders come for free: the current
+// thread executes in English order, so EnglishBeforeCurrent is
+// constantly true and HebrewBeforeCurrent coincides with
+// PrecedesCurrent. Only genuinely concurrent accessors need a backend
+// that answers the orders exactly (the two order-maintenance lists of
+// SP-order/SP-hybrid).
+type OrderedRelative[A comparable] interface {
+	Relative[A]
+	// EnglishBeforeCurrent reports prev <_E current.
+	EnglishBeforeCurrent(prev A) bool
+	// HebrewBeforeCurrent reports prev <_H current.
+	HebrewBeforeCurrent(prev A) bool
+}
+
+// Cell is one shadow-memory slot: the location's last writer plus the
+// retained readers, each with an optional user site (e.g. the source
+// thread of a replayed trace) carried into race reports. The serial
+// protocol (OnAccess) keeps one reader; the ordered protocol
+// (OnAccessOrdered) keeps the English-max and Hebrew-max readers. A
+// cell is only ever driven by one protocol.
 type Cell[A comparable] struct {
 	hasWriter, hasReader bool
 	writer, reader       A
 	writerSite           any
 	readerSite           any
+	// Second reader slot of the ordered protocol: reader holds the
+	// English-max reader there, readerH the Hebrew-max.
+	hasReaderH  bool
+	readerH     A
+	readerHSite any
 }
 
 // Found reports the race detected by one application of the protocol.
@@ -74,7 +111,7 @@ type Found[A comparable] struct {
 // OnAccess applies the Nondeterminator protocol for one access by cur
 // (with optional site metadata). It returns the race found, if any, and
 // adds the number of SP queries issued to *queries. The caller must hold
-// the cell's lock when accessors run concurrently.
+// the cell's shard lock when accessors run concurrently.
 func OnAccess[A comparable](c *Cell[A], rel Relative[A], cur A, site any, write bool, queries *int64) *Found[A] {
 	var found *Found[A]
 	if write {
@@ -114,40 +151,182 @@ func OnAccess[A comparable](c *Cell[A], rel Relative[A], cur A, site any, write 
 	return found
 }
 
-// Memory is a shadow-memory table keyed by location address, with striped
-// per-location locks for parallel detectors. Serial detectors may skip
-// Lock entirely.
-type Memory[A comparable] struct {
-	mapMu sync.Mutex
-	cells map[uint64]*Cell[A]
-	locks []sync.Mutex
-}
-
-// NewMemory returns an empty shadow memory with the given number of lock
-// stripes (minimum 1).
-func NewMemory[A comparable](stripes int) *Memory[A] {
-	if stripes < 1 {
-		stripes = 1
+// OnAccessOrdered applies the two-reader variant of the protocol: the
+// cell keeps its last writer plus the English-maximal and
+// Hebrew-maximal readers. Unlike the one-reader discipline — whose
+// completeness proof needs the serial depth-first execution order —
+// this variant flags every racy location under ANY feasible
+// (creation-respecting) execution order, which is what a live
+// concurrent monitor observes:
+//
+//   - Writes: consecutive writers in execution order are either
+//     serial (and then, by transitivity, totally ordered) or a
+//     detected race, so a location with a write-write race is always
+//     flagged.
+//   - A write W racing some past reader s satisfies either s <_E W ∧
+//     W <_H s — then the Hebrew-max reader Rh has W <_H s ≤_H Rh, and
+//     feasibility (¬ W ≺ Rh) forces Rh <_E W, so W ∥ Rh — or the
+//     symmetric case, caught by the English-max reader.
+//   - A read racing a past write is caught via the writer slot or
+//     subsumed by a write-write race on the same location.
+//
+// The caller must hold the cell's shard lock when accessors run
+// concurrently, and rel's order answers must be exact for concurrent
+// accessors (serial streams may use the PrecedesCurrent equivalence
+// described on OrderedRelative).
+func OnAccessOrdered[A comparable](c *Cell[A], rel OrderedRelative[A], cur A, site any, write bool, queries *int64) *Found[A] {
+	var found *Found[A]
+	if write {
+		if c.hasWriter && c.writer != cur {
+			*queries++
+			if rel.ParallelCurrent(c.writer) {
+				found = &Found[A]{Kind: WriteWrite, Prev: c.writer, PrevSite: c.writerSite}
+			}
+		}
+		if found == nil && c.hasReader && c.reader != cur {
+			*queries++
+			if rel.ParallelCurrent(c.reader) {
+				found = &Found[A]{Kind: ReadWrite, Prev: c.reader, PrevSite: c.readerSite}
+			}
+		}
+		if found == nil && c.hasReaderH && c.readerH != cur && c.readerH != c.reader {
+			*queries++
+			if rel.ParallelCurrent(c.readerH) {
+				found = &Found[A]{Kind: ReadWrite, Prev: c.readerH, PrevSite: c.readerHSite}
+			}
+		}
+		c.hasWriter = true
+		c.writer, c.writerSite = cur, site
+		return found
 	}
-	return &Memory[A]{cells: map[uint64]*Cell[A]{}, locks: make([]sync.Mutex, stripes)}
+	// Read access.
+	if c.hasWriter && c.writer != cur {
+		*queries++
+		if rel.ParallelCurrent(c.writer) {
+			found = &Found[A]{Kind: WriteRead, Prev: c.writer, PrevSite: c.writerSite}
+		}
+	}
+	// English-max reader (held in the primary reader slot).
+	if !c.hasReader {
+		c.hasReader = true
+		c.reader, c.readerSite = cur, site
+	} else if c.reader != cur {
+		*queries++
+		if rel.EnglishBeforeCurrent(c.reader) {
+			c.reader, c.readerSite = cur, site
+		}
+	}
+	// Hebrew-max reader.
+	if !c.hasReaderH {
+		c.hasReaderH = true
+		c.readerH, c.readerHSite = cur, site
+	} else if c.readerH != cur {
+		*queries++
+		if rel.HebrewBeforeCurrent(c.readerH) {
+			c.readerH, c.readerHSite = cur, site
+		}
+	}
+	return found
 }
 
-// Cell returns (creating if needed) the shadow slot for addr.
-func (m *Memory[A]) Cell(addr uint64) *Cell[A] {
-	m.mapMu.Lock()
-	c := m.cells[addr]
+// Shard is one address-hashed partition of a Memory: a private cell map
+// under a private mutex. Accessors of addresses in different shards
+// never contend.
+type Shard[A comparable] struct {
+	mu    sync.Mutex
+	cells map[uint64]*Cell[A]
+	// Pad each shard to a cache line so the shard locks of a hot Memory
+	// do not false-share (mutex 8B + map header 8B + 48B pad = 64B).
+	_ [48]byte
+}
+
+// Lock acquires the shard's mutex.
+func (s *Shard[A]) Lock() { s.mu.Lock() }
+
+// Unlock releases the shard's mutex.
+func (s *Shard[A]) Unlock() { s.mu.Unlock() }
+
+// Cell returns (creating if needed) the shadow slot for addr, which
+// must hash to this shard. The caller must hold the shard's lock.
+func (s *Shard[A]) Cell(addr uint64) *Cell[A] {
+	c := s.cells[addr]
 	if c == nil {
 		c = &Cell[A]{}
-		m.cells[addr] = c
+		s.cells[addr] = c
 	}
-	m.mapMu.Unlock()
 	return c
 }
 
-// Lock acquires the stripe lock covering addr and returns the unlock
-// function.
-func (m *Memory[A]) Lock(addr uint64) func() {
-	mu := &m.locks[addr%uint64(len(m.locks))]
-	mu.Lock()
-	return mu.Unlock
+// Memory is a sharded shadow-memory table keyed by location address.
+// Each address belongs to exactly one shard; an access locks only that
+// shard. Serial detectors pay one uncontended lock per access.
+type Memory[A comparable] struct {
+	mask   uint64
+	shards []Shard[A]
+}
+
+// NewMemory returns an empty shadow memory with at least the given
+// number of shards, rounded up to a power of two (minimum 1).
+func NewMemory[A comparable](shards int) *Memory[A] {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	m := &Memory[A]{mask: uint64(n - 1), shards: make([]Shard[A], n)}
+	for i := range m.shards {
+		m.shards[i].cells = map[uint64]*Cell[A]{}
+	}
+	return m
+}
+
+// NumShards returns the shard count (a power of two).
+func (m *Memory[A]) NumShards() int { return len(m.shards) }
+
+// ShardIndex returns the shard owning addr. Addresses are mixed before
+// masking so that adjacent addresses — the common layout of program
+// data — land on different shards.
+func (m *Memory[A]) ShardIndex(addr uint64) int { return int(mix(addr) & m.mask) }
+
+// Shard returns shard i.
+func (m *Memory[A]) Shard(i int) *Shard[A] { return &m.shards[i] }
+
+// ShardOf returns the shard owning addr.
+func (m *Memory[A]) ShardOf(addr uint64) *Shard[A] { return &m.shards[m.ShardIndex(addr)] }
+
+// Access applies the Nondeterminator protocol for one access by cur at
+// addr under the owning shard's lock: the one-call access path shared
+// by the serial and parallel detectors. It returns the race found, if
+// any, and adds the number of SP queries issued to *queries. rel may be
+// queried while the shard lock is held, so it must be safe to call
+// concurrently with SP-structure updates when accessors are parallel.
+func (m *Memory[A]) Access(addr uint64, rel Relative[A], cur A, site any, write bool, queries *int64) *Found[A] {
+	s := m.ShardOf(addr)
+	s.mu.Lock()
+	found := OnAccess(s.Cell(addr), rel, cur, site, write, queries)
+	s.mu.Unlock()
+	return found
+}
+
+// AccessOrdered is Access with the two-reader ordered protocol
+// (OnAccessOrdered) — the variant that stays complete under
+// concurrent, merely creation-respecting execution orders.
+func (m *Memory[A]) AccessOrdered(addr uint64, rel OrderedRelative[A], cur A, site any, write bool, queries *int64) *Found[A] {
+	s := m.ShardOf(addr)
+	s.mu.Lock()
+	found := OnAccessOrdered(s.Cell(addr), rel, cur, site, write, queries)
+	s.mu.Unlock()
+	return found
+}
+
+// mix is the splitmix64 finalizer: an invertible bit mixer that spreads
+// consecutive addresses across the whole hash space, so shard selection
+// is balanced even for the dense, small address ranges tests and
+// replayed traces use.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }

@@ -1,0 +1,237 @@
+package shadow
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// serialRel is a scripted SP relation for driving the protocol without
+// a real maintainer: accessors are ints, and the relation declares
+// every pair of distinct accessors parallel (the worst case) or serial,
+// per the flag.
+type serialRel struct{ parallel bool }
+
+func (r serialRel) PrecedesCurrent(int) bool { return !r.parallel }
+func (r serialRel) ParallelCurrent(int) bool { return r.parallel }
+
+// TestShardIndexSpreadsAdjacentAddresses pins the property the sharded
+// fast path depends on: consecutive addresses — the layout of real
+// program data and of the workload generators — are spread across
+// shards instead of piling onto one, and in particular adjacent
+// addresses almost always differ in shard.
+func TestShardIndexSpreadsAdjacentAddresses(t *testing.T) {
+	m := NewMemory[int](64)
+	if m.NumShards() != 64 {
+		t.Fatalf("NumShards = %d, want 64", m.NumShards())
+	}
+	const n = 256
+	seen := map[int]bool{}
+	adjacentSame := 0
+	for a := uint64(0); a < n; a++ {
+		i := m.ShardIndex(a)
+		if i < 0 || i >= m.NumShards() {
+			t.Fatalf("ShardIndex(%d) = %d out of range", a, i)
+		}
+		if m.Shard(i) != m.ShardOf(a) {
+			t.Fatalf("Shard/ShardOf disagree for %d", a)
+		}
+		seen[i] = true
+		if a > 0 && i == m.ShardIndex(a-1) {
+			adjacentSame++
+		}
+	}
+	if len(seen) < m.NumShards()/2 {
+		t.Fatalf("%d consecutive addresses hit only %d of %d shards", n, len(seen), m.NumShards())
+	}
+	if adjacentSame > n/8 {
+		t.Fatalf("%d of %d adjacent address pairs share a shard; mixing is broken", adjacentSame, n-1)
+	}
+}
+
+func TestNewMemoryRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 1}, {1, 1}, {3, 4}, {64, 64}, {65, 128}} {
+		if got := NewMemory[int](tc.in).NumShards(); got != tc.want {
+			t.Fatalf("NewMemory(%d).NumShards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestAccessProtocol replays the canonical protocol cases through the
+// one-call sharded Access path: write-write, write-read, read-write
+// races under a parallel relation, and silence under a serial one.
+func TestAccessProtocol(t *testing.T) {
+	var q int64
+	m := NewMemory[int](8)
+	// Serial accessors: no races, reader handoff costs queries.
+	if f := m.Access(7, serialRel{false}, 1, nil, true, &q); f != nil {
+		t.Fatalf("first write raced: %+v", f)
+	}
+	if f := m.Access(7, serialRel{false}, 2, nil, true, &q); f != nil {
+		t.Fatalf("serial write-write raced: %+v", f)
+	}
+	// Parallel accessors on another location.
+	if f := m.Access(9, serialRel{true}, 1, "s1", true, &q); f != nil {
+		t.Fatalf("first write raced: %+v", f)
+	}
+	f := m.Access(9, serialRel{true}, 2, "s2", false, &q)
+	if f == nil || f.Kind != WriteRead || f.Prev != 1 || f.PrevSite != "s1" {
+		t.Fatalf("parallel write-read = %+v, want WriteRead by 1 at s1", f)
+	}
+	f = m.Access(9, serialRel{true}, 3, nil, true, &q)
+	if f == nil || f.Kind != WriteWrite || f.Prev != 1 {
+		t.Fatalf("parallel write-write = %+v, want WriteWrite vs 1", f)
+	}
+	if q == 0 {
+		t.Fatal("protocol issued no SP queries")
+	}
+}
+
+// TestSameAddressManyGoroutines hammers one address — one shard, one
+// cell — from many goroutines. Under -race this proves the shard lock
+// fully serializes cell access; the final writer must be one of the
+// accessors and every conflicting pair is parallel, so every goroutine
+// after the first write observes a race.
+func TestSameAddressManyGoroutines(t *testing.T) {
+	m := NewMemory[int](64)
+	workers := 4 * runtime.NumCPU()
+	const per = 200
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	races := 0
+	var queries int64 // guarded by mu
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var q int64
+			found := 0
+			for i := 0; i < per; i++ {
+				if f := m.Access(42, serialRel{true}, w, nil, i%3 == 0, &q); f != nil {
+					found++
+				}
+			}
+			mu.Lock()
+			races += found
+			queries += q
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if races == 0 || queries == 0 {
+		t.Fatalf("parallel hammer found races=%d queries=%d, want both > 0", races, queries)
+	}
+}
+
+// TestDistinctAddressesDistinctShards drives concurrent accessors over
+// a dense address range under -race: with 256 addresses on 64 shards,
+// accesses synchronize on many independent locks, and the per-shard
+// cell maps must never be observed torn.
+func TestDistinctAddressesDistinctShards(t *testing.T) {
+	m := NewMemory[int](64)
+	workers := 4 * runtime.NumCPU()
+	const addrs = 256
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var q int64
+			for a := uint64(0); a < addrs; a++ {
+				m.Access(a, serialRel{false}, w, nil, false, &q)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every address must have a retained reader now.
+	for a := uint64(0); a < addrs; a++ {
+		s := m.ShardOf(a)
+		s.Lock()
+		c := s.Cell(a)
+		s.Unlock()
+		if !c.hasReader {
+			t.Fatalf("address %d lost its reader", a)
+		}
+	}
+}
+
+// orderedRel scripts the two total orders directly: accessor i sits at
+// eng[i] in English order and heb[i] in Hebrew order. a ≺ b iff before
+// in both, a ∥ b iff the orders disagree (Lemma 1 of the paper).
+type orderedRel struct {
+	eng, heb map[int]int
+	cur      int
+}
+
+func (r orderedRel) PrecedesCurrent(p int) bool {
+	return r.eng[p] < r.eng[r.cur] && r.heb[p] < r.heb[r.cur]
+}
+func (r orderedRel) ParallelCurrent(p int) bool {
+	return (r.eng[p] < r.eng[r.cur]) != (r.heb[p] < r.heb[r.cur])
+}
+func (r orderedRel) EnglishBeforeCurrent(p int) bool { return r.eng[p] < r.eng[r.cur] }
+func (r orderedRel) HebrewBeforeCurrent(p int) bool  { return r.heb[p] < r.heb[r.cur] }
+
+// TestOrderedProtocolCatchesMaskedReader pins the completeness gap
+// that separates the two protocols under concurrent execution orders.
+// Program P(r1, S(r2, w)): r1 ∥ everything, r2 ≺ w. English order
+// r1,r2,w; Hebrew order r2,w,r1. Feasible execution order: r2 reads,
+// r1 reads, w writes. The one-reader discipline retains r2 (r1 does
+// not serially follow it) and w's check against r2 finds no race —
+// the racy reader r1 is masked. The ordered protocol retains r1 as
+// the Hebrew-max reader and flags the race.
+func TestOrderedProtocolCatchesMaskedReader(t *testing.T) {
+	const r1, r2, w = 1, 2, 3
+	eng := map[int]int{r1: 1, r2: 2, w: 3}
+	heb := map[int]int{r2: 1, w: 2, r1: 3}
+	rel := func(cur int) orderedRel { return orderedRel{eng: eng, heb: heb, cur: cur} }
+
+	// One-reader protocol: misses (this documents WHY the serial
+	// discipline must not be used off the depth-first order).
+	var q int64
+	serial := &Cell[int]{}
+	OnAccess(serial, rel(r2), r2, nil, false, &q)
+	OnAccess(serial, rel(r1), r1, nil, false, &q)
+	if f := OnAccess(serial, rel(w), w, nil, true, &q); f != nil {
+		t.Fatalf("one-reader protocol unexpectedly caught the race (%+v); update this test's premise", f)
+	}
+
+	// Two-reader ordered protocol: catches r1 ∥ w.
+	ordered := &Cell[int]{}
+	if f := OnAccessOrdered(ordered, rel(r2), r2, nil, false, &q); f != nil {
+		t.Fatalf("first read raced: %+v", f)
+	}
+	if f := OnAccessOrdered(ordered, rel(r1), r1, nil, false, &q); f != nil {
+		t.Fatalf("second read raced: %+v", f)
+	}
+	f := OnAccessOrdered(ordered, rel(w), w, nil, true, &q)
+	if f == nil || f.Kind != ReadWrite || f.Prev != r1 {
+		t.Fatalf("ordered protocol found %+v, want ReadWrite vs r1", f)
+	}
+}
+
+// TestOrderedProtocolSerialEquivalence drives both protocols over a
+// serial (English-order) execution with the serial-stream order
+// equivalence (English-before constantly true, Hebrew-before =
+// precedes) and checks the ordered protocol flags a superset of the
+// serial one, and exactly the same locations when each location's
+// race is reachable serially.
+func TestOrderedProtocolSerialEquivalence(t *testing.T) {
+	// a ≺ b, a ∥ c, b ∥ c, all reading/writing one cell in English
+	// order a, b, c.
+	eng := map[int]int{1: 1, 2: 2, 3: 3}
+	heb := map[int]int{1: 1, 3: 2, 2: 3} // c=3 swapped before b=2: b ∥ c, a ≺ both
+	rel := func(cur int) orderedRel { return orderedRel{eng: eng, heb: heb, cur: cur} }
+	var q1, q2 int64
+	serial, ordered := &Cell[int]{}, &Cell[int]{}
+	for _, step := range []struct {
+		who   int
+		write bool
+	}{{1, false}, {2, false}, {3, true}} {
+		fs := OnAccess(serial, rel(step.who), step.who, nil, step.write, &q1)
+		fo := OnAccessOrdered(ordered, rel(step.who), step.who, nil, step.write, &q2)
+		if (fs != nil) != (fo != nil) {
+			t.Fatalf("protocols disagree at accessor %d: serial %+v, ordered %+v", step.who, fs, fo)
+		}
+	}
+}

@@ -135,41 +135,112 @@ func (e *Encoder) Begin(t int64) {
 func (e *Encoder) Access(t int64, addr uint64, write, hasSite bool, site string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	op := OpRead
-	if write {
-		op = OpWrite
-	}
 	var idx uint64
 	if hasSite {
-		if len(site) > MaxStringLen {
-			site = site[:MaxStringLen]
-		}
-		var known bool
-		idx, known = e.strings[site]
-		if !known {
-			idx = uint64(len(e.strings))
-			e.strings[site] = idx
-			b := append(e.buf[:0], byte(OpString))
-			e.buf = binary.AppendUvarint(b, uint64(len(site)))
-			e.emit(e.buf)
-			if e.err == nil {
-				_, e.err = e.w.WriteString(site)
-			}
-		}
-		if write {
-			op = OpWriteSite
-		} else {
-			op = OpReadSite
-		}
+		idx = e.internLocked(site)
 	}
-	b := append(e.buf[:0], byte(op))
+	e.buf = appendAccess(e.buf[:0], t, addr, write, hasSite, idx)
+	e.emit(e.buf)
+}
+
+// appendAccess appends one encoded access record to b.
+func appendAccess(b []byte, t int64, addr uint64, write, hasSite bool, siteIdx uint64) []byte {
+	op := OpRead
+	switch {
+	case write && hasSite:
+		op = OpWriteSite
+	case write:
+		op = OpWrite
+	case hasSite:
+		op = OpReadSite
+	}
+	b = append(b, byte(op))
 	b = binary.AppendUvarint(b, uint64(t))
 	b = binary.AppendUvarint(b, addr)
 	if hasSite {
-		b = binary.AppendUvarint(b, idx)
+		b = binary.AppendUvarint(b, siteIdx)
 	}
-	e.buf = b
+	return b
+}
+
+// internLocked returns site's string-table index, emitting its
+// OpString definition record on first use (truncating over-long
+// sites). The caller holds e.mu. Definitions go straight to the main
+// stream, so a buffered access record flushed later always references
+// a string defined earlier in the trace.
+func (e *Encoder) internLocked(site string) uint64 {
+	if len(site) > MaxStringLen {
+		site = site[:MaxStringLen]
+	}
+	idx, known := e.strings[site]
+	if known {
+		return idx
+	}
+	idx = uint64(len(e.strings))
+	e.strings[site] = idx
+	b := append(e.buf[:0], byte(OpString))
+	e.buf = binary.AppendUvarint(b, uint64(len(site)))
 	e.emit(e.buf)
+	if e.err == nil {
+		_, e.err = e.w.WriteString(site)
+	}
+	return idx
+}
+
+// AccessBuf is a staging buffer for access records, one per
+// shadow-memory shard in a concurrently monitored run: accesses on the
+// lock-free fast path append to the owning shard's buffer (under that
+// shard's lock, never the encoder's), and structural events flush every
+// buffer into the encoder's main stream in shard order before recording
+// themselves. The flush discipline keeps the trace a valid
+// linearization — a thread's accesses always appear after the fork that
+// created it and before the fork, join, or lock event that follows them
+// — so sp/trace replay of a concurrently recorded trace stays
+// deterministic given the trace bytes.
+type AccessBuf struct {
+	e     *Encoder
+	buf   []byte
+	local map[string]uint64 // shard-local intern cache, avoids e.mu on repeat sites
+}
+
+// NewAccessBuf returns an empty staging buffer feeding e. The caller
+// must serialize all calls on one AccessBuf (the shard lock).
+func (e *Encoder) NewAccessBuf() *AccessBuf {
+	return &AccessBuf{e: e}
+}
+
+// Access appends one access record to the buffer. A new site takes the
+// encoder lock once to intern; repeat sites hit the local cache.
+func (b *AccessBuf) Access(t int64, addr uint64, write, hasSite bool, site string) {
+	var idx uint64
+	if hasSite {
+		var known bool
+		idx, known = b.local[site]
+		if !known {
+			b.e.mu.Lock()
+			idx = b.e.internLocked(site)
+			b.e.mu.Unlock()
+			if b.local == nil {
+				b.local = map[string]uint64{}
+			}
+			b.local[site] = idx
+		}
+	}
+	b.buf = appendAccess(b.buf, t, addr, write, hasSite, idx)
+}
+
+// Flush moves the buffered records into the main stream and resets the
+// buffer. The caller must hold the same lock that serializes Access;
+// the order in which a recorder flushes its buffers defines the
+// records' total order in the trace.
+func (b *AccessBuf) Flush() {
+	if len(b.buf) == 0 {
+		return
+	}
+	b.e.mu.Lock()
+	b.e.emit(b.buf)
+	b.e.mu.Unlock()
+	b.buf = b.buf[:0]
 }
 
 // Acquire records Acquire(t, lock).

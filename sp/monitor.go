@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/ctab"
 	"repro/internal/shadow"
 	"repro/internal/wire"
 )
@@ -64,11 +65,12 @@ type Report struct {
 	// Accesses counts memory accesses; Queries counts SP queries issued
 	// (by the detection protocol and by Relation/Precedes/Parallel).
 	Accesses, Queries int64
-	// DroppedRaces counts races that did not fit in the Races() stream
-	// buffer or were detected by accesses still in flight when the
-	// stream closed. Buffer overflows still appear in Races; a race
-	// detected after this Report's snapshot appears in a subsequent
-	// Report's Races.
+	// DroppedRaces counts races detected by accesses still in flight
+	// when the Races() stream closed. The stream itself is lossless: a
+	// race emitted before Report is always delivered to a draining
+	// receiver, however slow (slower receivers spill into an unbounded
+	// backlog rather than dropping). Every race — dropped from the
+	// stream or not — appears in a Report's Races.
 	DroppedRaces int64
 }
 
@@ -80,11 +82,24 @@ type lockEntry struct {
 	locks LockSet
 }
 
-// threadState is the Monitor's per-thread bookkeeping.
+// threadState is the Monitor's per-thread bookkeeping. States are
+// published through a lock-free table, and the flags are atomics,
+// because the access fast path consults them without the monitor
+// mutex; held is touched only by the owning thread's own lock events
+// (under the monitor mutex) and its own accesses.
 type threadState struct {
-	begun   bool
-	retired bool
+	begun   atomic.Bool
+	retired atomic.Bool
 	held    map[int]int // lock multiset; nil until first Acquire
+	// rel is the cached SP query handle for this thread — the "label/
+	// bag reference" of the backend, bound at thread creation on
+	// fast-path monitors, nil otherwise.
+	rel CurrentRelative
+	// accesses and queries are this thread's event counters; keeping
+	// them per thread keeps the fast path free of shared contended
+	// cache lines. Report sums them.
+	accesses atomic.Int64
+	queries  atomic.Int64
 }
 
 type config struct {
@@ -103,7 +118,7 @@ type Option func(*config)
 func WithBackend(name string) Option { return func(c *config) { c.backend = name } }
 
 // WithWorkers hints the expected number of concurrently live threads; it
-// sizes the shadow-memory lock striping and the Races() stream buffer.
+// sizes the shadow-memory sharding and the Races() stream buffer.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithRaceDetection toggles the Nondeterminator determinacy-race
@@ -112,7 +127,9 @@ func WithRaceDetection(on bool) Option { return func(c *config) { c.raceDetect =
 
 // WithLockAwareness switches race detection to the ALL-SETS protocol: a
 // pair of parallel conflicting accesses races only if the lock sets held
-// at the two accesses are disjoint. Implies race detection.
+// at the two accesses are disjoint. Implies race detection and disables
+// the sharded access fast path (ALL-SETS keeps full per-location access
+// histories under one lock).
 func WithLockAwareness(on bool) Option { return func(c *config) { c.lockAware = on } }
 
 // WithTrace records every event the Monitor applies — Fork, Join,
@@ -121,28 +138,42 @@ func WithLockAwareness(on bool) Option { return func(c *config) { c.lockAware = 
 // recorded stream through any registered backend). Access sites are
 // rendered with fmt.Sprint and interned in the trace's string table.
 // The stream is buffered; Report flushes it, and write errors are
-// sticky and surfaced by TraceErr.
+// sticky and surfaced by TraceErr. On fast-path monitors, access
+// records stage in per-shard buffers that structural events flush in
+// shard order, so the recorded stream is always a valid linearization
+// of the run.
 func WithTrace(w io.Writer) Option { return func(c *config) { c.traceW = w } }
 
 // Monitor maintains SP relationships over a live stream of fork, join,
 // access, and lock events, optionally detecting determinacy races on the
 // fly. Create one with NewMonitor; the zero Monitor is not valid.
 //
-// Every method is safe for concurrent use. For backends that are not
-// internally synchronized the Monitor serializes events through one
-// mutex; backends whose BackendInfo.AnyOrder is false additionally
-// require the serial depth-first event order that Replay produces.
+// Every method is safe for concurrent use. Structural events — Fork,
+// Join, Acquire, Release, Begin — always serialize through one global
+// mutex. Read/Write take the sharded fast path when the backend is
+// internally synchronized and declares ConcurrentQueries (sp-hybrid):
+// they synchronize only on the owning shadow-memory shard, with
+// thread-state and SP-handle lookups lock-free. For other backends the
+// Monitor serializes accesses too; backends whose BackendInfo.AnyOrder
+// is false additionally require the serial depth-first event order that
+// Replay produces.
 type Monitor struct {
-	mu      sync.Mutex // serializes events (and everything, for unsynchronized backends)
+	mu      sync.Mutex // serializes structural events (and everything, off the fast path)
 	backend Maintainer
 	info    BackendInfo
+	handles HandleMaintainer // non-nil when the backend hands out query handles
+	orders  orderQuerier     // non-nil when the backend answers order queries exactly
 
 	raceDetect bool
 	lockAware  bool
-	trace      *wire.Encoder // nil unless WithTrace
+	fastAccess bool // Read/Write bypass mu: Synchronized + ConcurrentQueries + exact orders, not lock-aware
+	lockFreeQ  bool // queries may run without mu: Synchronized + ConcurrentQueries
 
-	threadMu sync.RWMutex
-	threads  []*threadState
+	trace       *wire.Encoder     // nil unless WithTrace
+	traceShards []*wire.AccessBuf // per-shard access staging, fast-path monitors only
+
+	threads  ctab.Table[threadState]
+	nthreads atomic.Int64
 	main     ThreadID
 
 	mem    *shadow.Memory[ThreadID]
@@ -151,15 +182,17 @@ type Monitor struct {
 
 	raceMu       sync.Mutex
 	races        []Race
+	backlog      []Race // races awaiting stream delivery while the channel is full
+	pumping      bool   // a pump goroutine owns stream delivery (and the close)
+	requested    bool   // Races() has been called; overflow may spawn a pump
 	raceCh       chan Race
 	streamClosed bool // guarded by raceMu; set before raceCh closes
 	dropped      atomic.Int64
 
-	accesses atomic.Int64
-	queries  atomic.Int64
-	forks    atomic.Int64
-	joins    atomic.Int64
-	finished atomic.Bool
+	relQueries atomic.Int64 // queries issued via Relation/Precedes/Parallel
+	forks      atomic.Int64
+	joins      atomic.Int64
+	finished   atomic.Bool
 }
 
 // NewMonitor creates a Monitor with the given options and registers the
@@ -185,11 +218,27 @@ func NewMonitor(opts ...Option) (*Monitor, error) {
 		locked:     map[uint64][]lockEntry{},
 		raceCh:     make(chan Race, 64*cfg.workers),
 	}
+	m.handles, _ = backend.(HandleMaintainer)
+	m.orders, _ = backend.(orderQuerier)
+	// Queries escape the global mutex only when the backend declares
+	// them safe concurrently with structural updates; the access fast
+	// path additionally requires exact order answers (per-thread
+	// handles or the order-querier surface), without which the
+	// two-reader protocol would silently lose completeness.
+	m.lockFreeQ = info.Synchronized && info.ConcurrentQueries
+	m.fastAccess = m.lockFreeQ && !cfg.lockAware && (m.handles != nil || m.orders != nil)
 	if cfg.traceW != nil {
 		m.trace = wire.NewEncoder(cfg.traceW)
+		if m.fastAccess {
+			m.traceShards = make([]*wire.AccessBuf, m.mem.NumShards())
+			for i := range m.traceShards {
+				m.traceShards[i] = m.trace.NewAccessBuf()
+			}
+		}
 	}
 	m.main = m.newThread()
 	m.backend.Start(m.main)
+	m.bindRel(m.main)
 	return m, nil
 }
 
@@ -208,23 +257,37 @@ func (m *Monitor) Backend() BackendInfo { return m.info }
 // Main returns the main thread's ID (always 0).
 func (m *Monitor) Main() ThreadID { return m.main }
 
-// newThread allocates the next dense ThreadID.
+// newThread allocates the next dense ThreadID and publishes its state.
 func (m *Monitor) newThread() ThreadID {
-	m.threadMu.Lock()
-	id := ThreadID(len(m.threads))
-	m.threads = append(m.threads, &threadState{})
-	m.threadMu.Unlock()
+	id := ThreadID(m.nthreads.Add(1) - 1)
+	m.threads.Put(int64(id), &threadState{})
 	return id
 }
 
-// state returns t's bookkeeping, panicking on unknown IDs.
+// bindRel caches the backend's query handle on t's state. On fast-path
+// monitors every access consults the handle instead of the backend's
+// by-ID query surface; it is bound under the monitor mutex before the
+// new ThreadID escapes to the caller.
+func (m *Monitor) bindRel(t ThreadID) {
+	if !m.fastAccess {
+		return
+	}
+	st := m.state(t)
+	if m.handles != nil {
+		st.rel = m.handles.ThreadRelative(t)
+	} else {
+		st.rel = relCur{m, t}
+	}
+}
+
+// state returns t's bookkeeping, panicking on unknown IDs. The lookup
+// is lock-free.
 func (m *Monitor) state(t ThreadID) *threadState {
-	m.threadMu.RLock()
-	defer m.threadMu.RUnlock()
-	if t < 0 || int(t) >= len(m.threads) {
+	st := m.threads.Get(int64(t))
+	if st == nil {
 		panic(fmt.Sprintf("sp: unknown thread t%d", t))
 	}
-	return m.threads[t]
+	return st
 }
 
 // checkLive panics if the monitor is finished or t has ended.
@@ -232,19 +295,33 @@ func (m *Monitor) checkLive(t ThreadID, st *threadState, ev string) {
 	if m.finished.Load() {
 		panic(fmt.Sprintf("sp: %s on finished monitor", ev))
 	}
-	if st.retired {
+	if st.retired.Load() {
 		panic(fmt.Sprintf("sp: %s by ended thread t%d (its serial block ended at a fork or join)", ev, t))
 	}
 }
 
 // begin marks t's first action. Callers hold m.mu or own t.
 func (m *Monitor) begin(t ThreadID, st *threadState) {
-	if !st.begun {
-		st.begun = true
+	if !st.begun.Load() {
+		st.begun.Store(true)
 		m.backend.Begin(t)
 		if m.trace != nil {
 			m.trace.Begin(int64(t))
 		}
+	}
+}
+
+// flushTraceShards drains every per-shard access buffer into the main
+// trace stream, in shard order. Structural events call it before
+// recording themselves so that a thread's staged accesses always
+// precede the event that retires the thread or changes its lock set —
+// the invariant that keeps concurrently recorded traces replayable.
+func (m *Monitor) flushTraceShards() {
+	for i, buf := range m.traceShards {
+		sh := m.mem.Shard(i)
+		sh.Lock()
+		buf.Flush()
+		sh.Unlock()
 	}
 }
 
@@ -254,10 +331,8 @@ func (m *Monitor) begin(t ThreadID, st *threadState) {
 // execution position (which the serial backends need for queries).
 func (m *Monitor) Begin(t ThreadID) {
 	st := m.state(t)
-	if !m.info.Synchronized {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.checkLive(t, st, "Begin")
 	m.begin(t, st)
 }
@@ -273,12 +348,15 @@ func (m *Monitor) Fork(parent ThreadID) (left, right ThreadID) {
 	m.begin(parent, st)
 	left, right = m.newThread(), m.newThread()
 	m.backend.Fork(parent, left, right)
+	m.bindRel(left)
+	m.bindRel(right)
 	if m.trace != nil {
 		// The spawned IDs are implicit in the trace: a fresh Monitor
 		// re-allocates them densely in record order on replay.
+		m.flushTraceShards()
 		m.trace.Fork(int64(parent))
 	}
-	st.retired = true
+	st.retired.Store(true)
 	st.held = nil
 	m.forks.Add(1)
 	return left, right
@@ -298,38 +376,44 @@ func (m *Monitor) Join(left, right ThreadID) (cont ThreadID) {
 	m.checkLive(right, rst, "Join")
 	cont = m.newThread()
 	m.backend.Join(left, right, cont)
+	m.bindRel(cont)
 	if m.trace != nil {
+		m.flushTraceShards()
 		m.trace.Join(int64(left), int64(right))
 	}
-	lst.retired, rst.retired = true, true
+	lst.retired.Store(true)
+	rst.retired.Store(true)
 	lst.held, rst.held = nil, nil
 	m.joins.Add(1)
 	return cont
 }
 
 // Read records a shared-memory load by thread t at addr.
-func (m *Monitor) Read(t ThreadID, addr uint64) { m.access(t, addr, false, nil) }
+func (m *Monitor) Read(t ThreadID, addr uint64) { m.access(t, m.state(t), addr, false, nil) }
 
 // ReadAt is Read with an attached source site (any user value, e.g. a
 // program counter or a parse-tree node) carried into race reports.
-func (m *Monitor) ReadAt(t ThreadID, addr uint64, site any) { m.access(t, addr, false, site) }
+func (m *Monitor) ReadAt(t ThreadID, addr uint64, site any) {
+	m.access(t, m.state(t), addr, false, site)
+}
 
 // Write records a shared-memory store by thread t at addr.
-func (m *Monitor) Write(t ThreadID, addr uint64) { m.access(t, addr, true, nil) }
+func (m *Monitor) Write(t ThreadID, addr uint64) { m.access(t, m.state(t), addr, true, nil) }
 
 // WriteAt is Write with an attached source site.
-func (m *Monitor) WriteAt(t ThreadID, addr uint64, site any) { m.access(t, addr, true, site) }
+func (m *Monitor) WriteAt(t ThreadID, addr uint64, site any) {
+	m.access(t, m.state(t), addr, true, site)
+}
 
 // Acquire records that thread t locked mutex lock (reentrant).
 func (m *Monitor) Acquire(t ThreadID, lock int) {
 	st := m.state(t)
-	if !m.info.Synchronized {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.checkLive(t, st, "Acquire")
 	m.begin(t, st)
 	if m.trace != nil {
+		m.flushTraceShards()
 		m.trace.Acquire(int64(t), int64(lock))
 	}
 	if st.held == nil {
@@ -343,22 +427,40 @@ func (m *Monitor) Acquire(t ThreadID, lock int) {
 // implicitly (a critical section never spans threads in this model).
 func (m *Monitor) Release(t ThreadID, lock int) {
 	st := m.state(t)
-	if !m.info.Synchronized {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.checkLive(t, st, "Release")
 	m.begin(t, st)
 	if st.held[lock] == 0 {
 		panic(fmt.Sprintf("sp: release of unheld mutex m%d by thread t%d", lock, t))
 	}
 	if m.trace != nil {
+		m.flushTraceShards()
 		m.trace.Release(int64(t), int64(lock))
 	}
 	st.held[lock]--
 }
 
-// relCur adapts the backend to the shadow protocol's current-thread view.
+// orderQuerier is the optional backend capability behind exact
+// English/Hebrew order answers on the serialized access path: backends
+// that maintain both orders (sp-order) implement it so that even
+// concurrent-order event streams — which the Monitor serializes for
+// them — keep the two-reader protocol complete.
+type orderQuerier interface {
+	// EnglishBefore reports a <_E b.
+	EnglishBefore(a, b ThreadID) bool
+	// HebrewBefore reports a <_H b.
+	HebrewBefore(a, b ThreadID) bool
+}
+
+// relCur adapts the backend's by-ID query surface to the shadow
+// protocol's current-thread view. It is the fallback when the backend
+// does not hand out cached handles (HandleMaintainer). Its order
+// answers come from the backend when it maintains both orders
+// (orderQuerier); otherwise they use the serial-stream equivalence
+// (every past thread is English-before the current one; Hebrew-before
+// coincides with precedes), which is exact for the serial event order
+// the remaining backends require anyway.
 type relCur struct {
 	m   *Monitor
 	cur ThreadID
@@ -378,11 +480,34 @@ func (r relCur) ParallelCurrent(prev ThreadID) bool {
 	return r.m.backend.Parallel(prev, r.cur)
 }
 
+func (r relCur) EnglishBeforeCurrent(prev ThreadID) bool {
+	if prev == r.cur {
+		return false
+	}
+	if r.m.orders != nil {
+		return r.m.orders.EnglishBefore(prev, r.cur)
+	}
+	return true
+}
+
+func (r relCur) HebrewBeforeCurrent(prev ThreadID) bool {
+	if prev == r.cur {
+		return false
+	}
+	if r.m.orders != nil {
+		return r.m.orders.HebrewBefore(prev, r.cur)
+	}
+	return r.m.backend.Precedes(prev, r.cur)
+}
+
 // access applies one memory access to the backend and, when race
 // detection is on, to the shadow protocol.
-func (m *Monitor) access(t ThreadID, addr uint64, write bool, site any) {
-	st := m.state(t)
-	if !m.info.Synchronized {
+func (m *Monitor) access(t ThreadID, st *threadState, addr uint64, write bool, site any) {
+	if m.fastAccess {
+		m.fastPath(t, st, addr, write, site)
+		return
+	}
+	if !m.lockFreeQ {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 	}
@@ -395,7 +520,7 @@ func (m *Monitor) access(t ThreadID, addr uint64, write bool, site any) {
 			m.trace.Access(int64(t), addr, write, false, "")
 		}
 	}
-	m.accesses.Add(1)
+	st.accesses.Add(1)
 	if !m.raceDetect {
 		return
 	}
@@ -403,12 +528,48 @@ func (m *Monitor) access(t ThreadID, addr uint64, write bool, site any) {
 		m.lockAwareAccess(t, st, addr, write, site)
 		return
 	}
-	cell := m.mem.Cell(addr)
-	unlock := m.mem.Lock(addr)
 	var q int64
-	found := shadow.OnAccess(cell, relCur{m, t}, t, site, write, &q)
-	unlock()
-	m.queries.Add(q)
+	found := m.mem.AccessOrdered(addr, relCur{m, t}, t, site, write, &q)
+	st.queries.Add(q)
+	if found != nil {
+		m.emit(Race{
+			Addr: addr, Kind: found.Kind,
+			First: found.Prev, Second: t,
+			FirstSite: found.PrevSite, SecondSite: site,
+		})
+	}
+}
+
+// fastPath is the sharded lock-free access path: thread state and the
+// cached SP handle are read with atomic loads, and the only lock taken
+// is the owning shadow-memory shard's. The global monitor mutex is
+// touched exactly once per thread, for the idempotent Begin.
+func (m *Monitor) fastPath(t ThreadID, st *threadState, addr uint64, write bool, site any) {
+	m.checkLive(t, st, "access")
+	if !st.begun.Load() {
+		m.mu.Lock()
+		m.begin(t, st)
+		m.mu.Unlock()
+	}
+	st.accesses.Add(1)
+	idx := m.mem.ShardIndex(addr)
+	sh := m.mem.Shard(idx)
+	sh.Lock()
+	if m.traceShards != nil {
+		if site != nil {
+			m.traceShards[idx].Access(int64(t), addr, write, true, fmt.Sprint(site))
+		} else {
+			m.traceShards[idx].Access(int64(t), addr, write, false, "")
+		}
+	}
+	if !m.raceDetect {
+		sh.Unlock()
+		return
+	}
+	var q int64
+	found := shadow.OnAccessOrdered(sh.Cell(addr), st.rel, t, site, write, &q)
+	sh.Unlock()
+	st.queries.Add(q)
 	if found != nil {
 		m.emit(Race{
 			Addr: addr, Kind: found.Kind,
@@ -452,7 +613,7 @@ func (m *Monitor) lockAwareAccess(t ThreadID, st *threadState, addr uint64, writ
 			FirstLocks: e.locks, SecondLocks: cur,
 		})
 	}
-	m.queries.Add(q)
+	st.queries.Add(q)
 	dup := false
 	for _, e := range m.locked[addr] {
 		if e.t == t && e.write == write && e.locks.Equal(cur) {
@@ -465,43 +626,97 @@ func (m *Monitor) lockAwareAccess(t ThreadID, st *threadState, addr uint64, writ
 	}
 }
 
-// emit records a race and streams it to Races() listeners. The send
-// happens under raceMu so that it cannot race Report's close of the
-// channel (an access in flight on a synchronized backend may outlive
+// emit records a race and streams it to Races() listeners without ever
+// dropping one: when the channel is full, the race joins an unbounded
+// backlog, drained in FIFO order by a pump goroutine once a listener
+// exists. The pump is spawned only after Races() has been called —
+// a monitor nobody listens to (replay harnesses, benchmarks) must not
+// park a goroutine on a send that can never complete. The bookkeeping
+// happens under raceMu so that a send cannot race Report's close of
+// the channel (an access in flight on a fast-path backend may outlive
 // the finished check).
 func (m *Monitor) emit(r Race) {
 	m.raceMu.Lock()
-	defer m.raceMu.Unlock()
 	m.races = append(m.races, r)
 	if m.streamClosed {
 		m.dropped.Add(1)
+		m.raceMu.Unlock()
 		return
 	}
-	select {
-	case m.raceCh <- r:
-	default:
-		m.dropped.Add(1)
+	// Direct sends are allowed only while no backlog exists (and no
+	// pump owns delivery), preserving FIFO order on the stream.
+	if !m.pumping && len(m.backlog) == 0 {
+		select {
+		case m.raceCh <- r:
+			m.raceMu.Unlock()
+			return
+		default:
+		}
+	}
+	m.backlog = append(m.backlog, r)
+	if m.requested && !m.pumping {
+		m.pumping = true
+		go m.pump()
+	}
+	m.raceMu.Unlock()
+}
+
+// pump drains the race backlog into the stream with blocking sends. It
+// exits when the backlog is empty, closing the channel if Report ran
+// while the pump owned delivery.
+func (m *Monitor) pump() {
+	for {
+		m.raceMu.Lock()
+		if len(m.backlog) == 0 {
+			m.pumping = false
+			closing := m.streamClosed
+			m.backlog = nil
+			m.raceMu.Unlock()
+			if closing {
+				close(m.raceCh)
+			}
+			return
+		}
+		r := m.backlog[0]
+		m.backlog = m.backlog[1:]
+		m.raceMu.Unlock()
+		m.raceCh <- r
 	}
 }
 
 // TraceErr returns the sticky error of the WithTrace recorder: nil
 // when every record has reached the underlying writer, nil also when
-// the Monitor records no trace. It flushes the buffered stream first
-// (as does Report), so an access that slipped past Report's finished
-// check on a synchronized backend cannot leave its record stranded in
-// the buffer; check TraceErr after Report to confirm a complete trace.
+// the Monitor records no trace. It flushes the staged and buffered
+// stream first (as does Report), so an access that slipped past
+// Report's finished check on a fast-path backend cannot leave its
+// record stranded; check TraceErr after Report to confirm a complete
+// trace.
 func (m *Monitor) TraceErr() error {
 	if m.trace == nil {
 		return nil
 	}
+	m.flushTraceShards()
 	return m.trace.Flush()
 }
 
-// Races returns the streaming race channel. Races are delivered as they
-// are detected; the channel is closed by Report. If no receiver keeps
-// up, excess races are dropped from the stream (DroppedRaces counts
-// them) but still appear in the final Report.
-func (m *Monitor) Races() <-chan Race { return m.raceCh }
+// Races returns the streaming race channel. Races are delivered as
+// they are detected and never dropped: a slow receiver backs the
+// stream up into an unbounded backlog, drained in detection order. The
+// channel is closed by Report, after every backlogged race has been
+// delivered — so a monitor that detected more races than the stream
+// buffer holds needs its channel drained for the close to happen (a
+// monitor whose Races() is never called keeps the overflow in memory
+// only; no goroutine waits on an unread stream).
+func (m *Monitor) Races() <-chan Race {
+	m.raceMu.Lock()
+	m.requested = true
+	if !m.pumping && len(m.backlog) > 0 {
+		m.pumping = true
+		go m.pump()
+	}
+	m.raceMu.Unlock()
+	return m.raceCh
+}
 
 // Relation returns the SP relationship between threads a and b. Both
 // must have begun; for backends without FullQueries, b must be the
@@ -510,11 +725,11 @@ func (m *Monitor) Relation(a, b ThreadID) Relation {
 	if a == b {
 		return Same
 	}
-	if !m.info.Synchronized {
+	if !m.lockFreeQ {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 	}
-	m.queries.Add(1)
+	m.relQueries.Add(1)
 	if m.backend.Precedes(a, b) {
 		return Precedes
 	}
@@ -531,21 +746,26 @@ func (m *Monitor) Precedes(a, b ThreadID) bool { return m.Relation(a, b) == Prec
 func (m *Monitor) Parallel(a, b ThreadID) bool { return m.Relation(a, b) == Parallel }
 
 // Report finalizes the run and returns the aggregate outcome. The
-// Races() channel is closed; further events panic. Report may be called
-// more than once.
+// Races() channel is closed (after any backlogged races drain); further
+// events panic. Report may be called more than once.
 func (m *Monitor) Report() Report {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.finished.Store(true)
 	if m.trace != nil {
+		m.flushTraceShards()
 		m.trace.Flush()
 	}
 	// Close the stream and snapshot the races in one critical section,
-	// so every race emitted before the close is in this snapshot.
+	// so every race emitted before the close is in this snapshot. With
+	// a backlog pending, the close is deferred to the pump — the one
+	// running, or the one a future Races() call starts.
 	m.raceMu.Lock()
 	if !m.streamClosed {
 		m.streamClosed = true
-		close(m.raceCh)
+		if !m.pumping && len(m.backlog) == 0 {
+			close(m.raceCh)
+		}
 	}
 	races := append([]Race(nil), m.races...)
 	m.raceMu.Unlock()
@@ -558,9 +778,14 @@ func (m *Monitor) Report() Report {
 		locs = append(locs, l)
 	}
 	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
-	m.threadMu.RLock()
-	threads := int64(len(m.threads))
-	m.threadMu.RUnlock()
+	threads := m.nthreads.Load()
+	accesses, queries := int64(0), m.relQueries.Load()
+	for i := int64(0); i < threads; i++ {
+		if st := m.threads.Get(i); st != nil {
+			accesses += st.accesses.Load()
+			queries += st.queries.Load()
+		}
+	}
 	return Report{
 		Backend:      m.info.Name,
 		Races:        races,
@@ -568,8 +793,8 @@ func (m *Monitor) Report() Report {
 		Threads:      threads,
 		Forks:        m.forks.Load(),
 		Joins:        m.joins.Load(),
-		Accesses:     m.accesses.Load(),
-		Queries:      m.queries.Load(),
+		Accesses:     accesses,
+		Queries:      queries,
 		DroppedRaces: m.dropped.Load(),
 	}
 }

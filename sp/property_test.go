@@ -1,0 +1,140 @@
+package sp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spt"
+	"repro/sp"
+)
+
+// This file is the property-based suite for the SP relation: ≥1000
+// randomly generated fork-join programs (the SP DAGs of the paper,
+// drawn as random parse trees of varying shape) are replayed through
+// every registered backend, and on each program the relation is held
+// to its algebraic invariants — Parallel symmetry, Precedes
+// antisymmetry and transitivity — plus exact agreement across all
+// backends (checked against the LCA oracle, which is agreement's
+// transitive witness: if every backend matches the oracle, every pair
+// of backends matches each other).
+
+// propertyPrograms is how many random programs the suite generates.
+const propertyPrograms = 1000
+
+// genProgram draws a random SP program: 2..17 threads, variable
+// P-node density.
+func genProgram(rng *rand.Rand) *spt.Tree {
+	cfg := spt.DefaultGenConfig(2 + rng.Intn(16))
+	cfg.PProb = []float64{0.2, 0.5, 0.8}[rng.Intn(3)]
+	return spt.Generate(cfg, rng)
+}
+
+// oracleRelation maps the tree oracle's answer for two distinct event
+// threads onto the sp.Relation domain.
+func oracleRelation(o *spt.Oracle, u, v *spt.Node) sp.Relation {
+	switch o.Relate(u, v) {
+	case spt.Parallel:
+		return sp.Parallel
+	case spt.Precedes:
+		return sp.Precedes
+	case spt.Follows:
+		return sp.Follows
+	default:
+		return sp.Same
+	}
+}
+
+// TestPropertySPRelation is the main driver. For every generated
+// program and every backend it checks, over all pairs of event
+// threads (sampled triples for transitivity):
+//
+//   - agreement with the LCA oracle (hence across backends);
+//   - Parallel(a,b) ⇔ Parallel(b,a) (symmetry);
+//   - Precedes(a,b) ⇒ Follows for (b,a) (antisymmetry);
+//   - Precedes(a,b) ∧ Precedes(b,c) ⇒ Precedes(a,c) (transitivity).
+//
+// Full-query backends are checked over arbitrary retired pairs after
+// the run; SP-bags-style backends (FullQueries false) are checked on
+// the fly, each leaf against every previously executed thread, which
+// is the query form they support.
+func TestPropertySPRelation(t *testing.T) {
+	backends := sp.Backends()
+	rng := rand.New(rand.NewSource(20260727))
+	for trial := 0; trial < propertyPrograms; trial++ {
+		tree := genProgram(rng)
+		for _, info := range backends {
+			checkProgram(t, info, tree, rng)
+		}
+	}
+}
+
+// checkProgram replays one program through one backend and applies the
+// invariants.
+func checkProgram(t *testing.T, info sp.BackendInfo, tree *spt.Tree, rng *rand.Rand) {
+	t.Helper()
+	oracle := spt.NewOracle(tree)
+	m, err := sp.NewMonitor(sp.WithBackend(info.Name), sp.WithRaceDetection(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done []*spt.Node
+	seen := map[*spt.Node]sp.ThreadID{}
+	ids := sp.ReplayObserved(tree, m, func(leaf *spt.Node, id sp.ThreadID) {
+		if !info.FullQueries {
+			// Current-thread query form: leaf vs every prior thread.
+			for _, prev := range done {
+				if seen[prev] == id {
+					continue
+				}
+				got := m.Relation(seen[prev], id)
+				want := oracleRelation(oracle, prev, leaf)
+				if got != want {
+					t.Fatalf("%s: %s vs current %s = %v, oracle %v", info.Name, prev, leaf, got, want)
+				}
+			}
+		}
+		done = append(done, leaf)
+		seen[leaf] = id
+	})
+	if !info.FullQueries {
+		return
+	}
+	leaves := tree.Threads()
+	rel := func(u, v *spt.Node) sp.Relation { return m.Relation(ids.Leaf(u), ids.Leaf(v)) }
+	for i := 0; i < len(leaves); i++ {
+		for j := i + 1; j < len(leaves); j++ {
+			u, v := leaves[i], leaves[j]
+			if ids.Leaf(u) == ids.Leaf(v) {
+				continue // serial leaves sharing one event thread
+			}
+			fwd, rev := rel(u, v), rel(v, u)
+			// Oracle agreement (and therefore cross-backend agreement).
+			if want := oracleRelation(oracle, u, v); fwd != want {
+				t.Fatalf("%s: %s vs %s = %v, oracle %v", info.Name, u, v, fwd, want)
+			}
+			// Parallel symmetry.
+			if (fwd == sp.Parallel) != (rev == sp.Parallel) {
+				t.Fatalf("%s: Parallel not symmetric for %s,%s: %v / %v", info.Name, u, v, fwd, rev)
+			}
+			// Precedes antisymmetry.
+			if fwd == sp.Precedes && rev != sp.Follows {
+				t.Fatalf("%s: %s ≺ %s but reverse = %v", info.Name, u, v, rev)
+			}
+		}
+	}
+	// Transitivity over sampled triples.
+	for k := 0; k < 64; k++ {
+		a := leaves[rng.Intn(len(leaves))]
+		b := leaves[rng.Intn(len(leaves))]
+		c := leaves[rng.Intn(len(leaves))]
+		ta, tb, tc := ids.Leaf(a), ids.Leaf(b), ids.Leaf(c)
+		if ta == tb || tb == tc || ta == tc {
+			continue
+		}
+		if m.Relation(ta, tb) == sp.Precedes && m.Relation(tb, tc) == sp.Precedes {
+			if got := m.Relation(ta, tc); got != sp.Precedes {
+				t.Fatalf("%s: transitivity broken: %s≺%s≺%s but first vs last = %v", info.Name, a, b, c, got)
+			}
+		}
+	}
+}

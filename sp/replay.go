@@ -121,22 +121,23 @@ func newReplayIDs(t *spt.Tree) ReplayIDs {
 // implicitly (by balance), preserving the model in which a critical
 // section never spans threads.
 func replayLeaf(m *Monitor, cur ThreadID, n *spt.Node) {
-	m.Begin(cur)
+	th := m.Thread(cur) // one cached handle for the whole leaf
+	th.Begin()
 	var held map[int]int
 	for _, st := range n.Steps {
 		switch st.Op {
 		case spt.Read:
-			m.ReadAt(cur, uint64(st.Loc), n)
+			th.ReadAt(uint64(st.Loc), n)
 		case spt.Write:
-			m.WriteAt(cur, uint64(st.Loc), n)
+			th.WriteAt(uint64(st.Loc), n)
 		case spt.Acquire:
-			m.Acquire(cur, st.Loc)
+			th.Acquire(st.Loc)
 			if held == nil {
 				held = map[int]int{}
 			}
 			held[st.Loc]++
 		case spt.Release:
-			m.Release(cur, st.Loc)
+			th.Release(st.Loc)
 			if held[st.Loc] > 0 {
 				held[st.Loc]--
 			}
@@ -144,7 +145,7 @@ func replayLeaf(m *Monitor, cur ThreadID, n *spt.Node) {
 	}
 	for lock, n := range held {
 		for ; n > 0; n-- {
-			m.Release(cur, lock)
+			th.Release(lock)
 		}
 	}
 }

@@ -116,6 +116,44 @@ type Maintainer interface {
 	Parallel(a, b ThreadID) bool
 }
 
+// CurrentRelative answers SP queries of previously executed threads
+// against one fixed current thread — the query forms the shadow-memory
+// protocol issues. Backends hand instances out through ThreadRelative;
+// the Monitor caches one per thread (sp.Thread) so the access fast
+// path queries the SP structure with no per-query table lookup.
+//
+// The order queries expose the two total orders behind the SP
+// relation (a ≺ b iff a before b in both, a ∥ b iff they disagree);
+// the concurrent race-detection protocol needs them to retain the
+// English-max and Hebrew-max readers per location. Handles consumed
+// by concurrent accessors must answer them exactly; for serial event
+// streams EnglishBeforeCurrent is constantly true and
+// HebrewBeforeCurrent coincides with PrecedesCurrent.
+type CurrentRelative interface {
+	// PrecedesCurrent reports prev ≺ current.
+	PrecedesCurrent(prev ThreadID) bool
+	// ParallelCurrent reports prev ∥ current.
+	ParallelCurrent(prev ThreadID) bool
+	// EnglishBeforeCurrent reports prev <_E current (serial depth-first
+	// order).
+	EnglishBeforeCurrent(prev ThreadID) bool
+	// HebrewBeforeCurrent reports prev <_H current (spawn-swapped
+	// order).
+	HebrewBeforeCurrent(prev ThreadID) bool
+}
+
+// HandleMaintainer is the optional capability interface of backends
+// that supply cached per-thread query handles. A handle must stay
+// valid for the thread's lifetime, be safe to query concurrently with
+// structural updates, and answer the order queries exactly (the
+// backend must also set BackendInfo.ConcurrentQueries).
+type HandleMaintainer interface {
+	Maintainer
+	// ThreadRelative returns the query handle for thread t, which must
+	// already be registered (via Start, Fork, or Join).
+	ThreadRelative(t ThreadID) CurrentRelative
+}
+
 // BackendInfo describes a registered backend's capabilities and the
 // asymptotic bounds from the paper's Figure 3.
 type BackendInfo struct {
@@ -139,6 +177,20 @@ type BackendInfo struct {
 	// concurrent event delivery; when false the Monitor serializes all
 	// events through one mutex.
 	Synchronized bool
+	// ConcurrentQueries reports whether Precedes/Parallel (and any
+	// ThreadRelative handles) may be queried concurrently with
+	// structural updates without external locking. Backends that leave
+	// it false are treated as unsynchronized for queries: the Monitor
+	// keeps its global mutex around every query-issuing event. Together
+	// with Synchronized it enables the sharded access fast path, on
+	// which Read/Write synchronize only on the owning shadow-memory
+	// shard and never take the global monitor mutex (which structural
+	// events — Fork, Join, Acquire, Release — still serialize through).
+	// The fast path additionally requires the backend to answer the
+	// English/Hebrew order queries exactly (HandleMaintainer handles or
+	// an internal order-query surface); the Monitor verifies that at
+	// construction and falls back to serialized accesses otherwise.
+	ConcurrentQueries bool
 }
 
 var registry = struct {

@@ -2,8 +2,8 @@ package sp
 
 import (
 	"fmt"
-	"sync"
 
+	"repro/internal/ctab"
 	"repro/internal/om"
 )
 
@@ -26,87 +26,72 @@ import (
 // (Hebrew); Join(a, b) inserts the continuation after the branch maxima
 // b (English) and a (Hebrew).
 //
+// The thread→item tables are a lock-free chunked table (internal/ctab):
+// a query is two atomic loads to find the items plus the OM lists'
+// own lock-free label reads, so the Monitor's sharded access fast path
+// never takes a backend lock — the contention-free query discipline
+// DePa applies to task-parallel order maintenance. Structural updates
+// (Fork/Join) still serialize on the OM insertion locks, as in the
+// paper.
+//
 // The scheduler-coupled SP-hybrid with real work-stealing and a live
 // local tier remains available for tree replay via repro.DetectParallel
 // and internal/sphybrid; this backend is its event-stream face.
 
+// hybridItem is one thread's position in both global-tier lists.
+type hybridItem struct {
+	e *om.CItem // English order
+	h *om.CItem // Hebrew order
+}
+
 // hybrid is the concurrent (live) SP-maintenance backend.
 type hybrid struct {
 	eng, heb *om.Concurrent
-
-	mu    sync.RWMutex // guards the item tables, not the lists
-	engIt []*om.CItem
-	hebIt []*om.CItem
+	items    ctab.Table[hybridItem]
 }
 
 func newHybrid() Maintainer {
 	return &hybrid{eng: om.NewConcurrent(), heb: om.NewConcurrent()}
 }
 
-func (h *hybrid) growLocked(t ThreadID) {
-	for int(t) >= len(h.engIt) {
-		h.engIt = append(h.engIt, nil)
-		h.hebIt = append(h.hebIt, nil)
+// item returns t's list positions, panicking on unknown threads. The
+// lookup is lock-free.
+func (h *hybrid) item(t ThreadID) *hybridItem {
+	it := h.items.Get(int64(t))
+	if it == nil {
+		panic(fmt.Sprintf("sp: sp-hybrid query on unknown thread t%d", t))
 	}
+	return it
 }
 
 func (h *hybrid) Start(main ThreadID) {
-	e := h.eng.InsertFirst()
-	hb := h.heb.InsertFirst()
-	h.mu.Lock()
-	h.growLocked(main)
-	h.engIt[main], h.hebIt[main] = e, hb
-	h.mu.Unlock()
+	h.items.Put(int64(main), &hybridItem{e: h.eng.InsertFirst(), h: h.heb.InsertFirst()})
 }
 
 func (h *hybrid) Begin(ThreadID) {}
 
-func (h *hybrid) items(a, b ThreadID) (ea, eb, ha, hb *om.CItem) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	if int(a) >= len(h.engIt) || int(b) >= len(h.engIt) || a < 0 || b < 0 {
-		panic(fmt.Sprintf("sp: sp-hybrid query on unknown thread (t%d, t%d)", a, b))
-	}
-	ea, ha = h.engIt[a], h.hebIt[a]
-	eb, hb = h.engIt[b], h.hebIt[b]
-	if ea == nil || eb == nil {
-		panic(fmt.Sprintf("sp: sp-hybrid query on unknown thread (t%d, t%d)", a, b))
-	}
-	return
-}
-
 func (h *hybrid) Fork(parent, left, right ThreadID) {
-	h.mu.RLock()
-	pe, ph := h.engIt[parent], h.hebIt[parent]
-	h.mu.RUnlock()
+	p := h.item(parent)
 	// OM-MULTI-INSERT under each list's insertion lock: English
 	// ⟨u, l, r⟩, Hebrew ⟨u, r, l⟩ (the P-node swap).
-	_, eAfter := h.eng.MultiInsertAround(pe, 0, 2)
-	_, hAfter := h.heb.MultiInsertAround(ph, 0, 2)
-	h.mu.Lock()
-	h.growLocked(right)
-	h.engIt[left], h.engIt[right] = eAfter[0], eAfter[1]
-	h.hebIt[right], h.hebIt[left] = hAfter[0], hAfter[1]
-	h.mu.Unlock()
+	_, eAfter := h.eng.MultiInsertAround(p.e, 0, 2)
+	_, hAfter := h.heb.MultiInsertAround(p.h, 0, 2)
+	// Publish each thread's two positions in one atomic store, so a
+	// concurrent query never sees a thread with only one list position.
+	h.items.Put(int64(left), &hybridItem{e: eAfter[0], h: hAfter[1]})
+	h.items.Put(int64(right), &hybridItem{e: eAfter[1], h: hAfter[0]})
 }
 
 func (h *hybrid) Join(left, right, cont ThreadID) {
-	h.mu.RLock()
-	re, lh := h.engIt[right], h.hebIt[left]
-	h.mu.RUnlock()
-	e := h.eng.InsertAfter(re)
-	hb := h.heb.InsertAfter(lh)
-	h.mu.Lock()
-	h.growLocked(cont)
-	h.engIt[cont], h.hebIt[cont] = e, hb
-	h.mu.Unlock()
+	l, r := h.item(left), h.item(right)
+	h.items.Put(int64(cont), &hybridItem{e: h.eng.InsertAfter(r.e), h: h.heb.InsertAfter(l.h)})
 }
 
 // Precedes reports a ≺ b via lock-free global-tier queries (Figure 9
 // with singleton traces: the same-trace local case never arises).
 func (h *hybrid) Precedes(a, b ThreadID) bool {
-	ea, eb, ha, hb := h.items(a, b)
-	return h.eng.Precedes(ea, eb) && h.heb.Precedes(ha, hb)
+	ia, ib := h.item(a), h.item(b)
+	return h.eng.Precedes(ia.e, ib.e) && h.heb.Precedes(ia.h, ib.h)
 }
 
 // Parallel reports a ∥ b: the global orders disagree.
@@ -114,8 +99,43 @@ func (h *hybrid) Parallel(a, b ThreadID) bool {
 	if a == b {
 		return false
 	}
-	ea, eb, ha, hb := h.items(a, b)
-	return h.eng.Precedes(ea, eb) != h.heb.Precedes(ha, hb)
+	ia, ib := h.item(a), h.item(b)
+	return h.eng.Precedes(ia.e, ib.e) != h.heb.Precedes(ia.h, ib.h)
+}
+
+// hybridRel is the cached per-thread query handle: the current
+// thread's items are resolved once, so each query costs one lock-free
+// table lookup for the previous thread plus the OM label comparisons.
+type hybridRel struct {
+	h  *hybrid
+	it *hybridItem
+}
+
+func (r hybridRel) PrecedesCurrent(prev ThreadID) bool {
+	p := r.h.item(prev)
+	return r.h.eng.Precedes(p.e, r.it.e) && r.h.heb.Precedes(p.h, r.it.h)
+}
+
+func (r hybridRel) ParallelCurrent(prev ThreadID) bool {
+	p := r.h.item(prev)
+	return r.h.eng.Precedes(p.e, r.it.e) != r.h.heb.Precedes(p.h, r.it.h)
+}
+
+// EnglishBeforeCurrent and HebrewBeforeCurrent answer the total-order
+// queries exactly (one lock-free OM label read each) — the capability
+// that keeps the two-reader race-detection protocol complete under
+// genuinely concurrent event delivery.
+func (r hybridRel) EnglishBeforeCurrent(prev ThreadID) bool {
+	return r.h.eng.Precedes(r.h.item(prev).e, r.it.e)
+}
+
+func (r hybridRel) HebrewBeforeCurrent(prev ThreadID) bool {
+	return r.h.heb.Precedes(r.h.item(prev).h, r.it.h)
+}
+
+// ThreadRelative implements HandleMaintainer.
+func (h *hybrid) ThreadRelative(t ThreadID) CurrentRelative {
+	return hybridRel{h: h, it: h.item(t)}
 }
 
 func init() {
@@ -123,8 +143,9 @@ func init() {
 		Name:        "sp-hybrid",
 		Description: "SP-hybrid global tier: concurrent OM lists, lock-free queries, every fork a steal",
 		UpdateBound: "O(1) amortized (under the insertion lock)", QueryBound: "O(1) expected, lock-free", SpaceBound: "O(1)",
-		FullQueries:  true,
-		AnyOrder:     true,
-		Synchronized: true,
+		FullQueries:       true,
+		AnyOrder:          true,
+		Synchronized:      true,
+		ConcurrentQueries: true,
 	}, newHybrid)
 }

@@ -90,6 +90,20 @@ func (s *spOrder) Parallel(a, b ThreadID) bool {
 	return s.eng.Precedes(ea, eb) != s.heb.Precedes(ha, hb)
 }
 
+// EnglishBefore and HebrewBefore expose the two maintained orders
+// exactly, so the Monitor's two-reader race-detection protocol stays
+// complete even for concurrent-order event streams (which the Monitor
+// serializes for this backend).
+func (s *spOrder) EnglishBefore(a, b ThreadID) bool {
+	ea, eb, _, _ := s.items(a, b)
+	return s.eng.Precedes(ea, eb)
+}
+
+func (s *spOrder) HebrewBefore(a, b ThreadID) bool {
+	_, _, ha, hb := s.items(a, b)
+	return s.heb.Precedes(ha, hb)
+}
+
 // spOrderImplicit is the footnote-2 variant: during a serial depth-first
 // execution the English order of threads is just execution order, so it
 // is maintained implicitly by a begin counter and only the Hebrew order
