@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+	"repro/sp/traced"
+)
+
+// ingestBenchResult is one concurrency level of the sptraced ingestion
+// benchmark; the JSON field names are the committed BENCH_ingest.json
+// schema.
+type ingestBenchResult struct {
+	Streams      int     `json:"streams"`
+	Events       int64   `json:"events"`
+	Races        int64   `json:"races"`
+	UniqueRaces  int     `json:"uniqueRaces"`
+	WallMS       float64 `json:"wallMs"`
+	EventsPerSec float64 `json:"eventsPerSec"`
+	SpeedupVs1   float64 `json:"speedupVs1"`
+}
+
+// ingestBenchDoc is the -table ingest -json output envelope.
+type ingestBenchDoc struct {
+	GoMaxProcs      int                 `json:"gomaxprocs"`
+	NumCPU          int                 `json:"numcpu"`
+	Quick           bool                `json:"quick"`
+	WorkloadThreads int                 `json:"workloadThreads"`
+	Note            string              `json:"note"`
+	Results         []ingestBenchResult `json:"results"`
+}
+
+// runIngestFleet streams clients concurrently at a fresh in-process
+// traced.Server over real TCP and returns the wall time of the
+// streaming phase plus the drained server's final report.
+func runIngestFleet(clients []workload.FleetClient) (time.Duration, traced.FleetReport) {
+	s, err := traced.New(traced.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	go s.Serve(l)
+	addr := l.Addr().String()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, c := range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ack, err := traced.Send(addr, c.Name, bytes.NewReader(c.Data)); err != nil || ack.State != "ok" {
+				fmt.Fprintf(os.Stderr, "ingest bench: %s: err=%v ack=%+v\n", c.Name, err, ack)
+				os.Exit(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, _ := s.Shutdown(ctx)
+	return elapsed, rep
+}
+
+// ingestBench measures fleet-wide trace ingestion throughput of the
+// sptraced service at 1, 4, and 16 concurrent streams: distinct
+// workload traces stream over loopback TCP into one in-process server,
+// each monitored and folded into the shared dedup table. On
+// single-CPU hosts higher stream counts measure scheduling and
+// aggregation overhead, not parallel speedup.
+func ingestBench(jsonOut bool) {
+	threads := 96
+	if *quick {
+		threads = 48
+	}
+	counts := []int{1, 4, 16}
+	fleet, err := workload.FleetTraces(counts[len(counts)-1], threads, 11)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	doc := ingestBenchDoc{
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Quick:           *quick,
+		WorkloadThreads: threads,
+		Note: "events/sec is aggregate server-side ingestion throughput over loopback TCP; " +
+			"speedupVs1 is total-throughput vs the 1-stream run; on single-CPU hosts higher " +
+			"stream counts measure aggregation overhead, not parallel speedup",
+	}
+	if !jsonOut {
+		fmt.Println("=== sptraced ingestion (concurrent SPTR streams into one server) ===")
+		fmt.Printf("%8s %12s %10s %8s %10s %14s %10s\n",
+			"streams", "events", "races", "unique", "wall ms", "events/sec", "vs 1")
+	}
+	var base float64
+	for _, n := range counts {
+		runtime.GC()
+		best := time.Duration(1<<62 - 1)
+		var rep traced.FleetReport
+		for i := 0; i < reps(); i++ {
+			e, r := runIngestFleet(fleet[:n])
+			rep = r
+			if e < best {
+				best = e
+			}
+		}
+		perSec := float64(rep.Events.Total) / best.Seconds()
+		r := ingestBenchResult{
+			Streams:      n,
+			Events:       rep.Events.Total,
+			Races:        rep.Races.Observed,
+			UniqueRaces:  rep.Races.Unique,
+			WallMS:       float64(best.Nanoseconds()) / 1e6,
+			EventsPerSec: perSec,
+		}
+		if n == counts[0] && counts[0] == 1 {
+			base = perSec
+		}
+		if base > 0 {
+			r.SpeedupVs1 = perSec / base
+		}
+		doc.Results = append(doc.Results, r)
+		if !jsonOut {
+			fmt.Printf("%8d %12d %10d %8d %10.2f %14.0f %9.2fx\n",
+				r.Streams, r.Events, r.Races, r.UniqueRaces, r.WallMS, r.EventsPerSec, r.SpeedupVs1)
+		}
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Println("(each stream is a distinct recorded workload trace sent via the SPTRD/1 protocol;")
+	fmt.Println(" the server runs one monitor per stream on its worker pool and deduplicates races")
+	fmt.Println(" fleet-wide; commit `spbench -table ingest -json` as BENCH_ingest.json)")
+	fmt.Println()
+}

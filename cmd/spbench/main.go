@@ -5,14 +5,16 @@
 //
 // Usage:
 //
-//	spbench [-table fig3|t5|c6|t10|s7|trace|all] [-quick] [-json]
+//	spbench [-table fig3|t5|c6|t10|s7|trace|concurrent|ingest|all] [-quick] [-json]
 //
 // -table trace records one binary event trace per workload shape
 // (repro/internal/workload.Scenarios) and replays it through every
 // registered backend, reporting ns/event, events/sec, and the trace's
-// peak logical parallelism. -json emits ONLY that benchmark, as a JSON
-// document suitable for committing as BENCH_<host>.json so successive
-// PRs accumulate a perf trajectory.
+// peak logical parallelism. -table ingest streams recorded traces into
+// an in-process sptraced server at 1, 4, and 16 concurrent streams.
+// -json emits ONLY that benchmark, as a JSON document suitable for
+// committing as BENCH_<host>.json so successive PRs accumulate a perf
+// trajectory.
 //
 // On single-CPU hosts the Theorem 10 experiment measures overhead scaling
 // (steals, retries, lock traffic) rather than wall-clock speedup.
@@ -46,13 +48,16 @@ var (
 )
 
 func main() {
-	table := flag.String("table", "all", "which experiment: fig3|t5|c6|t10|s7|trace|concurrent|all")
+	table := flag.String("table", "all", "which experiment: fig3|t5|c6|t10|s7|trace|concurrent|ingest|all")
 	flag.Parse()
 
 	if *jsonFlag {
-		if *table == "concurrent" {
+		switch *table {
+		case "concurrent":
 			concurrentBench(true)
-		} else {
+		case "ingest":
+			ingestBench(true)
+		default:
 			traceBench(true)
 		}
 		return
@@ -74,6 +79,8 @@ func main() {
 		traceBench(false)
 	case "concurrent":
 		concurrentBench(false)
+	case "ingest":
+		ingestBench(false)
 	case "all":
 		fig3()
 		theorem5()
@@ -82,6 +89,7 @@ func main() {
 		section7()
 		traceBench(false)
 		concurrentBench(false)
+		ingestBench(false)
 	default:
 		fmt.Println("unknown table:", *table)
 	}

@@ -5,6 +5,7 @@
 //
 //	sptrace record  -workload name [-n threads] [-seed s] [-backend b] [-lock-aware] -o file
 //	sptrace replay  -backend name|all [-lock-aware] [-v] file
+//	sptrace send    -addr host:port|unix:path [-name s] file ...
 //	sptrace stat    file
 //	sptrace diff    fileA fileB
 //	sptrace selftest [-n threads] [-seed s]
@@ -13,7 +14,8 @@
 // shapes), monitors its serial replay with the recording option, and
 // writes the trace. replay feeds a trace back through one registered
 // backend — or, with -backend all, through every backend, asserting
-// that all reports are identical (differential replay). stat
+// that all reports are identical (differential replay). send streams
+// trace files to a running sptraced server and prints each ack. stat
 // summarizes a trace without replaying it. diff compares two traces
 // event by event. selftest records one trace per workload shape and
 // differentially replays each across every registered backend; it
@@ -32,6 +34,7 @@ import (
 	"repro/internal/workload"
 	"repro/sp"
 	"repro/sp/trace"
+	"repro/sp/traced"
 )
 
 func main() {
@@ -45,6 +48,8 @@ func main() {
 		err = cmdRecord(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "send":
+		err = cmdSend(os.Args[2:])
 	case "stat":
 		err = cmdStat(os.Args[2:])
 	case "diff":
@@ -68,6 +73,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   sptrace record  -workload name [-n threads] [-seed s] [-backend b] [-lock-aware] -o file
   sptrace replay  -backend name|all [-lock-aware] [-v] file
+  sptrace send    -addr host:port|unix:path [-name s] file ...
   sptrace stat    file
   sptrace diff    fileA fileB
   sptrace selftest [-n threads] [-seed s]
@@ -202,6 +208,44 @@ func differentialReplay(data []byte, opts []sp.Option) error {
 		}
 	}
 	fmt.Printf("all %d backends produced identical reports\n", len(names))
+	return nil
+}
+
+// cmdSend streams recorded trace files to a running sptraced server —
+// the client half of the ingest protocol (repro/sp/traced).
+func cmdSend(args []string) error {
+	fs := flag.NewFlagSet("send", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "sptraced ingest address (host:port or unix:path)")
+	name := fs.String("name", "", "stream name (default: the file path)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("send requires at least one trace file")
+	}
+	failed := 0
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		stream := *name
+		if stream == "" {
+			stream = path
+		}
+		sum, err := traced.Send(*addr, stream, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("sent %s: stream %d %s: %d events, %d races, peak parallelism %d\n",
+			path, sum.ID, sum.State, sum.Events, sum.Races, sum.PeakParallel)
+		if sum.State != "ok" {
+			fmt.Printf("  server error: %s\n", sum.Error)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d stream(s) failed", failed)
+	}
 	return nil
 }
 

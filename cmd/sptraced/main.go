@@ -1,0 +1,189 @@
+// Command sptraced is race detection as a service: a long-running
+// server ingesting SPTR trace streams from many monitored processes,
+// deduplicating the races the fleet detects, and serving live
+// aggregate reports (package repro/sp/traced).
+//
+// Usage:
+//
+//	sptraced [-listen addr] [-unix path] [-http addr] [-backend name]
+//	         [-workers n] [-max-streams n] [-max-events n] [-max-bytes n]
+//	         [-max-site n] [-read-timeout d] [-drain-timeout d]
+//	         [-final-report path] [trace-file ...]
+//
+// Trace-file arguments are batch-ingested at startup, as if each had
+// been streamed by a client. With listeners disabled (-listen ""
+// -http "" and no -unix), sptraced becomes a batch aggregator: it
+// ingests the files, prints the fleet report, and exits.
+//
+// On SIGTERM or SIGINT the server drains gracefully — stops accepting,
+// finishes in-flight streams (bounded by -drain-timeout), and writes
+// the final fleet report as JSON to -final-report ("-" is stdout).
+// Clients stream traces with `sptrace send`; humans read
+// http://<addr>/report, Prometheus scrapes /metrics, and orchestrators
+// probe /healthz (503 while draining).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/sp/traced"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, sigs, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sptraced:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole server lifecycle, factored out of main so tests can
+// drive it in-process: args are the CLI arguments, sigs delivers the
+// shutdown signal, and ready (if non-nil) is called with the bound
+// ingest and HTTP addresses once both are listening.
+func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready func(ingest, httpAddr string)) error {
+	fs := flag.NewFlagSet("sptraced", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "127.0.0.1:7077", "TCP ingest address (empty disables)")
+	unixPath := fs.String("unix", "", "unix-socket ingest path (empty disables)")
+	httpAddr := fs.String("http", "127.0.0.1:7078", "HTTP report address (empty disables)")
+	backend := fs.String("backend", "sp-order", "SP-maintenance backend for stream monitors")
+	workers := fs.Int("workers", 0, "ingestion worker pool size (0 = NumCPU)")
+	maxStreams := fs.Int("max-streams", 0, "accepted-but-unfinished stream bound (0 = 4x workers)")
+	maxEvents := fs.Int64("max-events", 0, "per-stream event limit (0 = default)")
+	maxBytes := fs.Int64("max-bytes", 0, "per-stream byte limit (0 = default)")
+	maxSite := fs.Int("max-site", 0, "per-record site-string length limit (0 = default)")
+	readTimeout := fs.Duration("read-timeout", 0, "per-read idle deadline on ingest connections (0 = default)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
+	finalReport := fs.String("final-report", "-", "where the final fleet report JSON goes ('-' = stdout, empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s, err := traced.New(traced.Config{
+		Backend: *backend, Workers: *workers, MaxStreams: *maxStreams,
+		MaxEvents: *maxEvents, MaxBytes: *maxBytes, MaxSiteLen: *maxSite,
+		ReadTimeout: *readTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	serveErr := make(chan error, 3)
+	var ingestAddr string
+	if *listen != "" {
+		l, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		ingestAddr = l.Addr().String()
+		go func() { serveErr <- s.Serve(l) }()
+	}
+	if *unixPath != "" {
+		os.Remove(*unixPath) // stale socket from an unclean exit
+		l, err := net.Listen("unix", *unixPath)
+		if err != nil {
+			return err
+		}
+		defer os.Remove(*unixPath)
+		go func() { serveErr <- s.Serve(l) }()
+	}
+	var httpLn net.Listener
+	var boundHTTP string
+	if *httpAddr != "" {
+		httpLn, err = net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		boundHTTP = httpLn.Addr().String()
+		hs := &http.Server{Handler: s.HTTPHandler()}
+		go func() {
+			if err := hs.Serve(httpLn); err != nil && !errors.Is(err, net.ErrClosed) {
+				serveErr <- err
+			}
+		}()
+		defer httpLn.Close()
+	}
+	fmt.Fprintf(stderr, "sptraced: backend %s, %d workers, max %d streams",
+		s.Config().Backend, s.Config().Workers, s.Config().MaxStreams)
+	if ingestAddr != "" {
+		fmt.Fprintf(stderr, ", ingest %s", ingestAddr)
+	}
+	if *unixPath != "" {
+		fmt.Fprintf(stderr, ", ingest unix:%s", *unixPath)
+	}
+	if boundHTTP != "" {
+		fmt.Fprintf(stderr, ", http %s", boundHTTP)
+	}
+	fmt.Fprintln(stderr)
+	if ready != nil {
+		ready(ingestAddr, boundHTTP)
+	}
+
+	// Batch-ingest trace-file arguments through the same path a socket
+	// stream takes.
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sum := s.IngestTrace(path, f)
+		f.Close()
+		fmt.Fprintf(stderr, "sptraced: ingested %s: %s, %d events, %d races\n",
+			path, sum.State, sum.Events, sum.Races)
+	}
+
+	serving := *listen != "" || *unixPath != "" || *httpAddr != ""
+	if serving {
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(stderr, "sptraced: %v, draining (up to %v)\n", sig, *drainTimeout)
+		case err := <-serveErr:
+			if err != nil {
+				return err
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	rep, drainErr := s.Shutdown(ctx)
+	if drainErr != nil {
+		fmt.Fprintf(stderr, "sptraced: drain incomplete: %v\n", drainErr)
+	}
+	if *finalReport != "" {
+		out := stdout
+		if *finalReport != "-" {
+			f, err := os.Create(*finalReport)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := writeReport(out, rep); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "sptraced: done: %d streams (%d ok, %d failed), %d events, %d races (%d unique)\n",
+		rep.Streams.Total, rep.Streams.Completed, rep.Streams.Failed,
+		rep.Events.Total, rep.Races.Observed, rep.Races.Unique)
+	return nil
+}
+
+func writeReport(w io.Writer, rep traced.FleetReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

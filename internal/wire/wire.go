@@ -283,12 +283,13 @@ type Decoder struct {
 	r       *bufio.Reader
 	strings []string
 	version uint64
+	maxStr  int
 }
 
 // NewDecoder wraps r and reads the trace header, rejecting bad magic
 // and versions newer than this codec understands.
 func NewDecoder(r io.Reader) (*Decoder, error) {
-	d := &Decoder{r: bufio.NewReader(r)}
+	d := &Decoder{r: bufio.NewReader(r), maxStr: MaxStringLen}
 	var magic [len(Magic)]byte
 	if _, err := io.ReadFull(d.r, magic[:]); err != nil {
 		return nil, fmt.Errorf("wire: reading magic: %w", noEOF(err))
@@ -309,6 +310,16 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 
 // Version returns the trace's format version.
 func (d *Decoder) Version() int { return int(d.version) }
+
+// SetMaxString lowers the accepted site-string length below the
+// format's MaxStringLen: servers ingesting traces from untrusted
+// clients cap the per-record allocation a hostile stream can demand.
+// Values outside (0, MaxStringLen] are ignored.
+func (d *Decoder) SetMaxString(n int) {
+	if n > 0 && n <= MaxStringLen {
+		d.maxStr = n
+	}
+}
 
 // noEOF converts a bare io.EOF into io.ErrUnexpectedEOF: inside a
 // header or record, running out of input means truncation.
@@ -359,8 +370,8 @@ func (d *Decoder) Next() (Event, error) {
 			if err != nil {
 				return Event{}, err
 			}
-			if n > MaxStringLen {
-				return Event{}, fmt.Errorf("wire: site string length %d exceeds limit %d", n, MaxStringLen)
+			if n > uint64(d.maxStr) {
+				return Event{}, fmt.Errorf("wire: site string length %d exceeds limit %d", n, d.maxStr)
 			}
 			buf := make([]byte, n)
 			if _, err := io.ReadFull(d.r, buf); err != nil {

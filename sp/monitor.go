@@ -56,7 +56,11 @@ func (r Race) String() string {
 type Report struct {
 	// Backend is the name of the SP-maintenance backend used.
 	Backend string
-	// Races lists every detected race in detection order.
+	// Races lists every detected race, merged from the sharded race log
+	// in shard order (detection order within a shard). The merge is
+	// deterministic for a deterministic execution: an address always
+	// hashes to the same shard, so two monitored runs of the same
+	// serial event stream produce identical race lists.
 	Races []Race
 	// Locations is the deduplicated, sorted set of raced addresses.
 	Locations []uint64
@@ -80,6 +84,37 @@ type lockEntry struct {
 	site  any
 	write bool
 	locks LockSet
+}
+
+// lockShard is one address-hashed partition of the ALL-SETS access
+// history: a private per-location entry map under a private mutex,
+// mirroring internal/shadow's splitmix64 shard scheme (the shard index
+// comes from the same Memory, so the shadow cell and the lock history
+// of an address always co-shard). The protocol only ever consults the
+// history of the accessed address, so lock-heavy workloads touching
+// distinct addresses proceed on disjoint locks.
+type lockShard struct {
+	mu      sync.Mutex
+	entries map[uint64][]lockEntry
+	// Pad to a cache line so hot shard locks do not false-share.
+	_ [40]byte
+}
+
+// raceShard is one address-hashed partition of the race log. Detected
+// races append under the owning shard's lock only; Report merges the
+// shards in index order, and the Races() stream claims races per shard
+// through the streamed watermark, so emit never serializes on a global
+// mutex unless a stream listener exists.
+type raceShard struct {
+	mu    sync.Mutex
+	races []Race // detection order within the shard
+	// late holds races detected by accesses still in flight when Report
+	// closed the shard: they are counted in DroppedRaces, excluded from
+	// the stream, and surface only in subsequent Report snapshots.
+	late     []Race
+	streamed int  // races[:streamed] have been claimed by the stream
+	closed   bool // Report has cut this shard off
+	_        [8]byte
 }
 
 // threadState is the Monitor's per-thread bookkeeping. States are
@@ -171,22 +206,24 @@ type Monitor struct {
 
 	trace       *wire.Encoder     // nil unless WithTrace
 	traceShards []*wire.AccessBuf // per-shard access staging, fast-path monitors only
+	traceDirty  []atomic.Bool     // traceShards[i] has records staged since its last flush
 
 	threads  ctab.Table[threadState]
 	nthreads atomic.Int64
 	main     ThreadID
 
-	mem    *shadow.Memory[ThreadID]
-	lockMu sync.Mutex
-	locked map[uint64][]lockEntry
+	mem        *shadow.Memory[ThreadID]
+	lockShards []lockShard // ALL-SETS access history, lock-aware monitors only
+
+	raceShards []raceShard // sharded race log; emit touches one shard
+	requested  atomic.Bool // Races() has been called; emits also stream
 
 	raceMu       sync.Mutex
-	races        []Race
 	backlog      []Race // races awaiting stream delivery while the channel is full
 	pumping      bool   // a pump goroutine owns stream delivery (and the close)
-	requested    bool   // Races() has been called; overflow may spawn a pump
 	raceCh       chan Race
-	streamClosed bool // guarded by raceMu; set before raceCh closes
+	streamClosed bool // guarded by raceMu; no more races will be streamed
+	chClosed     bool // guarded by raceMu; raceCh has actually been closed
 	dropped      atomic.Int64
 
 	relQueries atomic.Int64 // queries issued via Relation/Precedes/Parallel
@@ -215,8 +252,14 @@ func NewMonitor(opts ...Option) (*Monitor, error) {
 		raceDetect: cfg.raceDetect || cfg.lockAware,
 		lockAware:  cfg.lockAware,
 		mem:        shadow.NewMemory[ThreadID](8 * cfg.workers),
-		locked:     map[uint64][]lockEntry{},
 		raceCh:     make(chan Race, 64*cfg.workers),
+	}
+	m.raceShards = make([]raceShard, m.mem.NumShards())
+	if cfg.lockAware {
+		m.lockShards = make([]lockShard, m.mem.NumShards())
+		for i := range m.lockShards {
+			m.lockShards[i].entries = map[uint64][]lockEntry{}
+		}
 	}
 	m.handles, _ = backend.(HandleMaintainer)
 	m.orders, _ = backend.(orderQuerier)
@@ -231,6 +274,7 @@ func NewMonitor(opts ...Option) (*Monitor, error) {
 		m.trace = wire.NewEncoder(cfg.traceW)
 		if m.fastAccess {
 			m.traceShards = make([]*wire.AccessBuf, m.mem.NumShards())
+			m.traceDirty = make([]atomic.Bool, m.mem.NumShards())
 			for i := range m.traceShards {
 				m.traceShards[i] = m.trace.NewAccessBuf()
 			}
@@ -311,15 +355,26 @@ func (m *Monitor) begin(t ThreadID, st *threadState) {
 	}
 }
 
-// flushTraceShards drains every per-shard access buffer into the main
-// trace stream, in shard order. Structural events call it before
-// recording themselves so that a thread's staged accesses always
-// precede the event that retires the thread or changes its lock set —
-// the invariant that keeps concurrently recorded traces replayable.
+// flushTraceShards drains the per-shard access buffers written since
+// the last flush into the main trace stream, in shard order. Structural
+// events call it before recording themselves so that a thread's staged
+// accesses always precede the event that retires the thread or changes
+// its lock set — the invariant that keeps concurrently recorded traces
+// replayable. Only dirty shards are visited: staging marks the shard
+// under its lock, so every staged-but-unflushed record lives in a shard
+// whose dirty flag is set, and the structural event's own thread cannot
+// be staging concurrently with its call here (one goroutine per
+// thread). A shard dirtied by another thread racing the flush is simply
+// picked up by the next flush, which is still before that thread's own
+// next structural event.
 func (m *Monitor) flushTraceShards() {
 	for i, buf := range m.traceShards {
+		if !m.traceDirty[i].Load() {
+			continue
+		}
 		sh := m.mem.Shard(i)
 		sh.Lock()
+		m.traceDirty[i].Store(false)
 		buf.Flush()
 		sh.Unlock()
 	}
@@ -561,6 +616,7 @@ func (m *Monitor) fastPath(t ThreadID, st *threadState, addr uint64, write bool,
 		} else {
 			m.traceShards[idx].Access(int64(t), addr, write, false, "")
 		}
+		m.traceDirty[idx].Store(true)
 	}
 	if !m.raceDetect {
 		sh.Unlock()
@@ -582,13 +638,16 @@ func (m *Monitor) fastPath(t ThreadID, st *threadState, addr uint64, write bool,
 // lockAwareAccess applies the ALL-SETS protocol: full access history per
 // location (deduplicated by thread, kind, and lock set), a race reported
 // for every logically parallel conflicting pair with disjoint lock sets.
+// The history is sharded by address hash (lockShard), so only accesses
+// of addresses on the same shard contend.
 func (m *Monitor) lockAwareAccess(t ThreadID, st *threadState, addr uint64, write bool, site any) {
 	cur := newLockSet(st.held)
-	m.lockMu.Lock()
-	defer m.lockMu.Unlock()
+	sh := &m.lockShards[m.mem.ShardIndex(addr)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	var q int64
 	rel := relCur{m, t}
-	for _, e := range m.locked[addr] {
+	for _, e := range sh.entries[addr] {
 		if e.t == t || !(write || e.write) {
 			continue
 		}
@@ -615,50 +674,73 @@ func (m *Monitor) lockAwareAccess(t ThreadID, st *threadState, addr uint64, writ
 	}
 	st.queries.Add(q)
 	dup := false
-	for _, e := range m.locked[addr] {
+	for _, e := range sh.entries[addr] {
 		if e.t == t && e.write == write && e.locks.Equal(cur) {
 			dup = true
 			break
 		}
 	}
 	if !dup {
-		m.locked[addr] = append(m.locked[addr], lockEntry{t, site, write, cur})
+		sh.entries[addr] = append(sh.entries[addr], lockEntry{t, site, write, cur})
 	}
 }
 
-// emit records a race and streams it to Races() listeners without ever
-// dropping one: when the channel is full, the race joins an unbounded
-// backlog, drained in FIFO order by a pump goroutine once a listener
-// exists. The pump is spawned only after Races() has been called —
-// a monitor nobody listens to (replay harnesses, benchmarks) must not
-// park a goroutine on a send that can never complete. The bookkeeping
-// happens under raceMu so that a send cannot race Report's close of
-// the channel (an access in flight on a fast-path backend may outlive
-// the finished check).
+// emit records a race in the owning race-log shard — the only
+// synchronization on the emit path while nobody listens, so racy
+// workloads on the access fast path no longer funnel every race through
+// one global mutex. Once Races() has been called, the emit additionally
+// claims the race (advancing the shard's streamed watermark under the
+// shard lock, so the Races() catch-up scan and concurrent emits deliver
+// each race exactly once) and streams it. A race detected after Report
+// closed the shard — an access still in flight on a fast-path backend —
+// lands in the shard's late list and counts as dropped.
 func (m *Monitor) emit(r Race) {
-	m.raceMu.Lock()
-	m.races = append(m.races, r)
-	if m.streamClosed {
+	sh := &m.raceShards[m.mem.ShardIndex(r.Addr)]
+	sh.mu.Lock()
+	if sh.closed {
+		sh.late = append(sh.late, r)
+		sh.mu.Unlock()
 		m.dropped.Add(1)
-		m.raceMu.Unlock()
 		return
 	}
-	// Direct sends are allowed only while no backlog exists (and no
-	// pump owns delivery), preserving FIFO order on the stream.
+	sh.races = append(sh.races, r)
+	if !m.requested.Load() {
+		sh.mu.Unlock()
+		return
+	}
+	sh.streamed = len(sh.races)
+	// Deliver while still holding the shard lock so the stream preserves
+	// the shard's detection order (lock order: race shard, then raceMu).
+	m.deliver(r)
+	sh.mu.Unlock()
+}
+
+// deliver streams one race to the Races() channel: a direct non-blocking
+// send while the stream is caught up, the unbounded backlog (drained in
+// FIFO order by a pump goroutine) otherwise, so a race is never dropped.
+// Callers may hold a race-shard lock; deliver takes only raceMu.
+func (m *Monitor) deliver(r Race) {
+	m.raceMu.Lock()
+	defer m.raceMu.Unlock()
+	if m.chClosed {
+		// Unreachable for races claimed before their shard closed
+		// (Report closes every shard before it closes the stream), but
+		// kept as the send-on-closed-channel backstop.
+		m.dropped.Add(1)
+		return
+	}
 	if !m.pumping && len(m.backlog) == 0 {
 		select {
 		case m.raceCh <- r:
-			m.raceMu.Unlock()
 			return
 		default:
 		}
 	}
 	m.backlog = append(m.backlog, r)
-	if m.requested && !m.pumping {
+	if !m.pumping {
 		m.pumping = true
 		go m.pump()
 	}
-	m.raceMu.Unlock()
 }
 
 // pump drains the race backlog into the stream with blocking sends. It
@@ -669,7 +751,10 @@ func (m *Monitor) pump() {
 		m.raceMu.Lock()
 		if len(m.backlog) == 0 {
 			m.pumping = false
-			closing := m.streamClosed
+			closing := m.streamClosed && !m.chClosed
+			if closing {
+				m.chClosed = true
+			}
 			m.backlog = nil
 			m.raceMu.Unlock()
 			if closing {
@@ -701,18 +786,29 @@ func (m *Monitor) TraceErr() error {
 
 // Races returns the streaming race channel. Races are delivered as
 // they are detected and never dropped: a slow receiver backs the
-// stream up into an unbounded backlog, drained in detection order. The
-// channel is closed by Report, after every backlogged race has been
-// delivered — so a monitor that detected more races than the stream
-// buffer holds needs its channel drained for the close to happen (a
-// monitor whose Races() is never called keeps the overflow in memory
-// only; no goroutine waits on an unread stream).
+// stream up into an unbounded backlog, drained per shard in detection
+// order. Races detected before the first Races() call are caught up
+// here, shard by shard (a monitor whose Races() is never called keeps
+// them in the sharded log only; no goroutine waits on an unread
+// stream). The channel is closed once Report has run and every claimed
+// race has been delivered — a monitor that detected more races than
+// the stream buffer holds needs its channel drained for the close to
+// happen.
 func (m *Monitor) Races() <-chan Race {
+	m.requested.Store(true)
+	for i := range m.raceShards {
+		sh := &m.raceShards[i]
+		sh.mu.Lock()
+		for _, r := range sh.races[sh.streamed:] {
+			m.deliver(r)
+		}
+		sh.streamed = len(sh.races)
+		sh.mu.Unlock()
+	}
 	m.raceMu.Lock()
-	m.requested = true
-	if !m.pumping && len(m.backlog) > 0 {
-		m.pumping = true
-		go m.pump()
+	if m.streamClosed && !m.chClosed && !m.pumping && len(m.backlog) == 0 {
+		m.chClosed = true
+		close(m.raceCh)
 	}
 	m.raceMu.Unlock()
 	return m.raceCh
@@ -756,18 +852,29 @@ func (m *Monitor) Report() Report {
 		m.flushTraceShards()
 		m.trace.Flush()
 	}
-	// Close the stream and snapshot the races in one critical section,
-	// so every race emitted before the close is in this snapshot. With
-	// a backlog pending, the close is deferred to the pump — the one
-	// running, or the one a future Races() call starts.
-	m.raceMu.Lock()
-	if !m.streamClosed {
-		m.streamClosed = true
-		if !m.pumping && len(m.backlog) == 0 {
-			close(m.raceCh)
-		}
+	// Close every race-log shard, then snapshot it: an emit racing this
+	// loop either lands its race in the snapshot (it held the shard lock
+	// first) or in the late list (counted as dropped). Closing all
+	// shards before touching the stream state means no new race can be
+	// claimed for the stream once streamClosed is set.
+	var races []Race
+	for i := range m.raceShards {
+		sh := &m.raceShards[i]
+		sh.mu.Lock()
+		sh.closed = true
+		races = append(races, sh.races...)
+		races = append(races, sh.late...)
+		sh.mu.Unlock()
 	}
-	races := append([]Race(nil), m.races...)
+	// With a backlog pending the close is deferred to the pump; with no
+	// listener yet it is deferred to the first Races() call, which still
+	// has to catch the stream up on the sharded log.
+	m.raceMu.Lock()
+	m.streamClosed = true
+	if m.requested.Load() && !m.chClosed && !m.pumping && len(m.backlog) == 0 {
+		m.chClosed = true
+		close(m.raceCh)
+	}
 	m.raceMu.Unlock()
 	locSet := map[uint64]bool{}
 	for _, r := range races {

@@ -9,123 +9,171 @@ import (
 	"repro/sp"
 )
 
-// Replay reads the trace from r and feeds every event through monitor
-// m, which must be fresh (no events applied since NewMonitor) so that
-// its dense thread-ID allocation reproduces the recorded IDs. The
-// trace is validated as it is applied — forks of retired threads,
+// Applier incrementally validates and applies a decoded event stream to
+// monitor m, which must be fresh (no events applied since NewMonitor)
+// so that its dense thread-ID allocation reproduces the recorded IDs.
+// Events are validated as they are applied — forks of retired threads,
 // ill-formed joins, events of unknown threads, and unbalanced releases
 // are reported as errors rather than panics, so hostile or corrupted
-// traces cannot crash a replaying tool.
+// traces cannot crash the applying process. Errors are sticky: after
+// the first failure every Apply returns it.
+//
+// Replay is the whole-trace convenience; long-running ingestion (an
+// sptraced stream arriving over a socket) drives an Applier one event
+// at a time and can report progress, enforce limits, and snapshot the
+// monitor between events.
+type Applier struct {
+	m    *sp.Monitor
+	next sp.ThreadID                 // next ID a fresh monitor will allocate
+	live map[sp.ThreadID]bool        // threads created and not retired
+	held map[sp.ThreadID]map[int]int // lock multisets, mirroring the monitor
+	n    int64
+	err  error
+}
+
+// NewApplier returns an Applier feeding m, which must be fresh.
+func NewApplier(m *sp.Monitor) *Applier {
+	return &Applier{
+		m:    m,
+		next: 1,
+		live: map[sp.ThreadID]bool{0: true},
+		held: map[sp.ThreadID]map[int]int{},
+	}
+}
+
+// Applied returns the number of events applied so far.
+func (a *Applier) Applied() int64 { return a.n }
+
+// Live returns the number of currently live threads — the stream's
+// instantaneous logical parallelism (1 before the first fork).
+func (a *Applier) Live() int { return len(a.live) }
+
+// Err returns the sticky validation error, if any.
+func (a *Applier) Err() error { return a.err }
+
+func (a *Applier) checkLive(ev Event, t sp.ThreadID) error {
+	if !a.live[t] {
+		return fmt.Errorf("trace: event %d (%s): thread t%d is not live", a.n, ev, t)
+	}
+	return nil
+}
+
+// Apply validates ev and applies it to the monitor. The Monitor panics
+// on protocol misuse; an event that passes validation but still trips a
+// backend (e.g. a concurrent-order trace applied to a serial backend)
+// surfaces as an error, not a crash.
+func (a *Applier) Apply(ev Event) (err error) {
+	if a.err != nil {
+		return a.err
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("trace: replay: %v", p)
+		}
+		a.err = err
+	}()
+	switch ev.Op {
+	case Fork:
+		if err := a.checkLive(ev, ev.Parent); err != nil {
+			return err
+		}
+		l, r := a.m.Fork(ev.Parent)
+		if l != a.next || r != a.next+1 {
+			return fmt.Errorf("trace: monitor is not fresh: fork created t%d,t%d, trace expects t%d,t%d", l, r, a.next, a.next+1)
+		}
+		a.next += 2
+		delete(a.live, ev.Parent)
+		delete(a.held, ev.Parent)
+		a.live[l], a.live[r] = true, true
+	case Join:
+		if ev.Left == ev.Right {
+			return fmt.Errorf("trace: event %d: join of t%d with itself", a.n, ev.Left)
+		}
+		if err := a.checkLive(ev, ev.Left); err != nil {
+			return err
+		}
+		if err := a.checkLive(ev, ev.Right); err != nil {
+			return err
+		}
+		cont := a.m.Join(ev.Left, ev.Right)
+		if cont != a.next {
+			return fmt.Errorf("trace: monitor is not fresh: join created t%d, trace expects t%d", cont, a.next)
+		}
+		a.next++
+		delete(a.live, ev.Left)
+		delete(a.live, ev.Right)
+		delete(a.held, ev.Left)
+		delete(a.held, ev.Right)
+		a.live[cont] = true
+	case Begin:
+		if err := a.checkLive(ev, ev.Thread); err != nil {
+			return err
+		}
+		a.m.Begin(ev.Thread)
+	case Read, Write:
+		if err := a.checkLive(ev, ev.Thread); err != nil {
+			return err
+		}
+		switch {
+		case ev.Op == Read && ev.HasSite:
+			a.m.ReadAt(ev.Thread, ev.Addr, ev.Site)
+		case ev.Op == Read:
+			a.m.Read(ev.Thread, ev.Addr)
+		case ev.HasSite:
+			a.m.WriteAt(ev.Thread, ev.Addr, ev.Site)
+		default:
+			a.m.Write(ev.Thread, ev.Addr)
+		}
+	case Acquire:
+		if err := a.checkLive(ev, ev.Thread); err != nil {
+			return err
+		}
+		a.m.Acquire(ev.Thread, ev.Lock)
+		hs := a.held[ev.Thread]
+		if hs == nil {
+			hs = map[int]int{}
+			a.held[ev.Thread] = hs
+		}
+		hs[ev.Lock]++
+	case Release:
+		if err := a.checkLive(ev, ev.Thread); err != nil {
+			return err
+		}
+		if a.held[ev.Thread][ev.Lock] == 0 {
+			return fmt.Errorf("trace: event %d: release of unheld mutex m%d by t%d", a.n, ev.Lock, ev.Thread)
+		}
+		a.m.Release(ev.Thread, ev.Lock)
+		a.held[ev.Thread][ev.Lock]--
+	default:
+		return fmt.Errorf("trace: event %d: unexpected op %v", a.n, ev.Op)
+	}
+	a.n++
+	return nil
+}
+
+// Replay reads the trace from r and feeds every event through monitor
+// m, which must be fresh — see Applier for the validation performed.
 //
 // The backend must accept the trace's event order: any backend can
 // replay a trace recorded from a serial execution, while traces
 // recorded from live concurrent programs (which are merely
 // creation-respecting) need an AnyOrder backend.
-func Replay(r io.Reader, m *sp.Monitor) (err error) {
-	defer func() {
-		// The Monitor panics on protocol misuse; a trace that passes
-		// this function's validation but still trips a backend (e.g. a
-		// concurrent-order trace replayed into a serial backend) should
-		// surface as an error, not kill the process.
-		if p := recover(); p != nil {
-			err = fmt.Errorf("trace: replay: %v", p)
-		}
-	}()
+func Replay(r io.Reader, m *sp.Monitor) error {
 	rd, err := NewReader(r)
 	if err != nil {
 		return err
 	}
-	next := sp.ThreadID(1)                // next ID a fresh monitor will allocate
-	live := map[sp.ThreadID]bool{0: true} // threads created and not retired
-	held := map[sp.ThreadID]map[int]int{} // lock multisets, mirroring the monitor
-	checkLive := func(i int64, ev Event, t sp.ThreadID) error {
-		if !live[t] {
-			return fmt.Errorf("trace: event %d (%s): thread t%d is not live", i, ev, t)
-		}
-		return nil
-	}
-	for i := int64(0); ; i++ {
+	a := NewApplier(m)
+	for {
 		ev, rerr := rd.Next()
 		if rerr == io.EOF {
 			return nil
 		}
 		if rerr != nil {
-			return fmt.Errorf("trace: event %d: %w", i, rerr)
+			return fmt.Errorf("trace: event %d: %w", a.Applied(), rerr)
 		}
-		switch ev.Op {
-		case Fork:
-			if err := checkLive(i, ev, ev.Parent); err != nil {
-				return err
-			}
-			l, r := m.Fork(ev.Parent)
-			if l != next || r != next+1 {
-				return fmt.Errorf("trace: monitor is not fresh: fork created t%d,t%d, trace expects t%d,t%d", l, r, next, next+1)
-			}
-			next += 2
-			delete(live, ev.Parent)
-			delete(held, ev.Parent)
-			live[l], live[r] = true, true
-		case Join:
-			if ev.Left == ev.Right {
-				return fmt.Errorf("trace: event %d: join of t%d with itself", i, ev.Left)
-			}
-			if err := checkLive(i, ev, ev.Left); err != nil {
-				return err
-			}
-			if err := checkLive(i, ev, ev.Right); err != nil {
-				return err
-			}
-			cont := m.Join(ev.Left, ev.Right)
-			if cont != next {
-				return fmt.Errorf("trace: monitor is not fresh: join created t%d, trace expects t%d", cont, next)
-			}
-			next++
-			delete(live, ev.Left)
-			delete(live, ev.Right)
-			delete(held, ev.Left)
-			delete(held, ev.Right)
-			live[cont] = true
-		case Begin:
-			if err := checkLive(i, ev, ev.Thread); err != nil {
-				return err
-			}
-			m.Begin(ev.Thread)
-		case Read, Write:
-			if err := checkLive(i, ev, ev.Thread); err != nil {
-				return err
-			}
-			switch {
-			case ev.Op == Read && ev.HasSite:
-				m.ReadAt(ev.Thread, ev.Addr, ev.Site)
-			case ev.Op == Read:
-				m.Read(ev.Thread, ev.Addr)
-			case ev.HasSite:
-				m.WriteAt(ev.Thread, ev.Addr, ev.Site)
-			default:
-				m.Write(ev.Thread, ev.Addr)
-			}
-		case Acquire:
-			if err := checkLive(i, ev, ev.Thread); err != nil {
-				return err
-			}
-			m.Acquire(ev.Thread, ev.Lock)
-			hs := held[ev.Thread]
-			if hs == nil {
-				hs = map[int]int{}
-				held[ev.Thread] = hs
-			}
-			hs[ev.Lock]++
-		case Release:
-			if err := checkLive(i, ev, ev.Thread); err != nil {
-				return err
-			}
-			if held[ev.Thread][ev.Lock] == 0 {
-				return fmt.Errorf("trace: event %d: release of unheld mutex m%d by t%d", i, ev.Lock, ev.Thread)
-			}
-			m.Release(ev.Thread, ev.Lock)
-			held[ev.Thread][ev.Lock]--
-		default:
-			return fmt.Errorf("trace: event %d: unexpected op %v", i, ev.Op)
+		if err := a.Apply(ev); err != nil {
+			return err
 		}
 	}
 }

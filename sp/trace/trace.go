@@ -232,6 +232,13 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Version returns the trace's format version.
 func (r *Reader) Version() int { return r.d.Version() }
 
+// SetMaxSite lowers the accepted site-string length below the format's
+// built-in 1 MiB cap, bounding the per-record allocation a hostile
+// stream can demand — servers ingesting traces from untrusted clients
+// set this before the first Next. Values outside the valid range are
+// ignored.
+func (r *Reader) SetMaxSite(n int) { r.d.SetMaxString(n) }
+
 // Next returns the next event, io.EOF at a clean end of trace, or an
 // error describing the corruption. It never panics on hostile input.
 func (r *Reader) Next() (Event, error) {

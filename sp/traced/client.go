@@ -1,0 +1,72 @@
+package traced
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+)
+
+// ProtoHello is the ingest handshake token: a client opens its stream
+// with the line "SPTRD/1 <name>\n" (name optional), then sends raw
+// SPTR trace bytes, half-closes its write side, and reads back one
+// JSON-encoded StreamSummary line.
+const ProtoHello = "SPTRD/1"
+
+// writeAck writes the one-line JSON ack that ends every ingest
+// connection.
+func writeAck(w io.Writer, sum StreamSummary) error {
+	b, err := json.Marshal(sum)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// Dial connects to an sptraced ingest address: "unix:<path>" for a
+// unix socket, anything else as a TCP host:port.
+func Dial(addr string) (net.Conn, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return net.Dial("unix", path)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// Send streams one SPTR trace from r to the sptraced server at addr
+// under the given stream name and returns the server's ack. It speaks
+// the full ingest protocol: hello line, trace bytes, write-side
+// half-close, ack line. The returned summary's State is "failed" (with
+// Error set) when the server rejected or truncated the stream; Send
+// itself errors only on transport or protocol failures.
+func Send(addr, name string, r io.Reader) (StreamSummary, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return StreamSummary{}, err
+	}
+	defer c.Close()
+	if _, err := fmt.Fprintf(c, "%s %s\n", ProtoHello, cleanName(name)); err != nil {
+		return StreamSummary{}, fmt.Errorf("traced: sending handshake: %w", err)
+	}
+	if _, err := io.Copy(c, r); err != nil {
+		return StreamSummary{}, fmt.Errorf("traced: sending trace: %w", err)
+	}
+	// Half-close so the server sees EOF; both TCP and unix conns
+	// support it.
+	if hc, ok := c.(interface{ CloseWrite() error }); ok {
+		if err := hc.CloseWrite(); err != nil {
+			return StreamSummary{}, fmt.Errorf("traced: closing write side: %w", err)
+		}
+	}
+	line, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil && line == "" {
+		return StreamSummary{}, fmt.Errorf("traced: reading ack: %w", err)
+	}
+	var sum StreamSummary
+	if err := json.Unmarshal([]byte(line), &sum); err != nil {
+		return StreamSummary{}, fmt.Errorf("traced: decoding ack %q: %w", strings.TrimSpace(line), err)
+	}
+	return sum, nil
+}

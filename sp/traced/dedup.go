@@ -1,0 +1,164 @@
+package traced
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/sp"
+)
+
+// RaceKey identifies one deduplicated race across the fleet: the two
+// access sites and the access pattern. Site metadata comes from the
+// trace's interned site strings; a site-less access falls back to the
+// raced address, so site-less traces still deduplicate per location.
+type RaceKey struct {
+	Kind   sp.AccessKind
+	First  string
+	Second string
+}
+
+// SiteOf renders one side of a race as a dedup site: the access's site
+// metadata when present, "x<addr>" otherwise.
+func SiteOf(site any, addr uint64) string {
+	if site != nil {
+		if s := fmt.Sprint(site); s != "" {
+			return s
+		}
+	}
+	return fmt.Sprintf("x%d", addr)
+}
+
+// KeyOf computes the dedup key of a detected race.
+func KeyOf(r sp.Race) RaceKey {
+	return RaceKey{Kind: r.Kind, First: SiteOf(r.FirstSite, r.Addr), Second: SiteOf(r.SecondSite, r.Addr)}
+}
+
+// RaceEntry is the aggregate of every observation of one RaceKey.
+type RaceEntry struct {
+	Kind   string `json:"kind"`
+	First  string `json:"first"`
+	Second string `json:"second"`
+	// Addr is the address of the first observation (later observations
+	// of the same site pair may race on other addresses).
+	Addr uint64 `json:"addr"`
+	// Count is the total number of observations fleet-wide.
+	Count int64 `json:"count"`
+	// Streams counts the distinct streams that observed this race.
+	Streams int `json:"streams"`
+	// FirstSeen and LastSeen bound the observations in wall time.
+	FirstSeen time.Time `json:"firstSeen"`
+	LastSeen  time.Time `json:"lastSeen"`
+	// ExampleStream names one stream that observed the race.
+	ExampleStream string `json:"exampleStream"`
+}
+
+// dedup is the fleet-wide race table: one entry per RaceKey, insertion
+// ordered, with per-entry observation counts and stream sets.
+type dedup struct {
+	mu      sync.Mutex
+	entries map[RaceKey]*dedupEntry
+	order   []RaceKey
+	total   int64 // observations across all entries
+}
+
+type dedupEntry struct {
+	RaceEntry
+	streams map[uint64]struct{}
+}
+
+// maxStreamsPerEntry bounds the per-entry distinct-stream set; beyond
+// it the entry keeps counting observations but stops tracking new
+// stream identities (Streams then reads "at least").
+const maxStreamsPerEntry = 4096
+
+func newDedup() *dedup {
+	return &dedup{entries: map[RaceKey]*dedupEntry{}}
+}
+
+// Observe folds one detected race from the given stream into the table
+// and reports whether it created a new entry.
+func (d *dedup) Observe(streamID uint64, streamName string, r sp.Race, at time.Time) bool {
+	key := KeyOf(r)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.total++
+	e := d.entries[key]
+	fresh := e == nil
+	if fresh {
+		e = &dedupEntry{
+			RaceEntry: RaceEntry{
+				Kind: key.Kind.String(), First: key.First, Second: key.Second,
+				Addr: r.Addr, FirstSeen: at, ExampleStream: streamName,
+			},
+			streams: map[uint64]struct{}{},
+		}
+		d.entries[key] = e
+		d.order = append(d.order, key)
+	}
+	e.Count++
+	e.LastSeen = at
+	if _, seen := e.streams[streamID]; !seen && len(e.streams) < maxStreamsPerEntry {
+		e.streams[streamID] = struct{}{}
+	}
+	e.Streams = len(e.streams)
+	return fresh
+}
+
+// Unique returns the number of distinct race entries.
+func (d *dedup) Unique() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// Total returns the number of observations across all entries.
+func (d *dedup) Total() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.total
+}
+
+// Snapshot copies the table in first-seen order.
+func (d *dedup) Snapshot() []RaceEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]RaceEntry, 0, len(d.order))
+	for _, k := range d.order {
+		out = append(out, d.entries[k].RaceEntry)
+	}
+	return out
+}
+
+// SiteCount is the observation count of one site, for the races-by-site
+// rollup.
+type SiteCount struct {
+	Site  string `json:"site"`
+	Count int64  `json:"count"`
+}
+
+// BySite rolls the table up per site (both sides of every entry count),
+// most-observed first, site name breaking ties.
+func (d *dedup) BySite() []SiteCount {
+	d.mu.Lock()
+	counts := map[string]int64{}
+	for _, e := range d.entries {
+		counts[e.First] += e.Count
+		if e.Second != e.First {
+			counts[e.Second] += e.Count
+		}
+	}
+	d.mu.Unlock()
+	out := make([]SiteCount, 0, len(counts))
+	for s, c := range counts {
+		out = append(out, SiteCount{Site: s, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}

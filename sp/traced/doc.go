@@ -1,0 +1,40 @@
+// Package traced is race detection as a service: a long-running server
+// that ingests SPTR trace streams from many monitored processes
+// concurrently, runs one sp.Monitor per stream on a bounded worker
+// pool, deduplicates the races the fleet detects, and serves live
+// aggregate reports. It turns the per-process on-the-fly detector of
+// package repro/sp into a fleet-wide one: a CI farm or production
+// fleet streams traces at a central sptraced and reads one
+// deduplicated race table instead of per-run logs.
+//
+// # Ingest protocol
+//
+// A client connects over TCP or a unix socket and sends
+//
+//	SPTRD/1 <stream-name>\n
+//	<raw SPTR trace bytes>
+//
+// then half-closes its write side. The server monitors the stream as
+// it arrives and replies with one JSON-encoded StreamSummary line.
+// Send implements the client side; `sptrace send` is the CLI wrapper.
+//
+// # Robustness
+//
+// Streams are isolated: a malformed, truncated, over-limit, or stalled
+// stream fails alone — its partial results are kept and flagged, and
+// no other stream or the server itself is affected. Per-read idle
+// deadlines (Config.ReadTimeout) bound stalls; Config.MaxSiteLen
+// bounds the largest wire record a client can make the server
+// allocate; Config.MaxEvents and Config.MaxBytes bound a stream's
+// total cost; Config.MaxStreams bounds accepted-but-unfinished
+// streams, surfacing overload to clients as accept backpressure rather
+// than dropped streams.
+//
+// # Reports
+//
+// HTTPHandler serves /report (the FleetReport as JSON), /metrics
+// (Prometheus text format), and /healthz (503 while draining).
+// Shutdown drains gracefully — stops accepting, finishes in-flight
+// streams, and returns the final report — which is cmd/sptraced's
+// SIGTERM path.
+package traced

@@ -1,0 +1,153 @@
+package traced
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// FleetReport is the aggregate state of the server: the /report JSON
+// document and the return value of Shutdown.
+type FleetReport struct {
+	Now       time.Time `json:"now"`
+	StartedAt time.Time `json:"startedAt"`
+	UptimeSec float64   `json:"uptimeSec"`
+	Backend   string    `json:"backend"`
+	Draining  bool      `json:"draining"`
+
+	Streams struct {
+		Total     int64 `json:"total"`
+		Active    int   `json:"active"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+	} `json:"streams"`
+
+	Events struct {
+		Total  int64   `json:"total"`
+		PerSec float64 `json:"perSec"`
+	} `json:"events"`
+
+	Races struct {
+		// Observed counts every race observation fleet-wide; Unique is
+		// the number of deduplicated (site-pair, kind) entries.
+		Observed int64 `json:"observed"`
+		Unique   int   `json:"unique"`
+	} `json:"races"`
+
+	// PeakParallel is the maximum instantaneous logical parallelism any
+	// stream has reached.
+	PeakParallel int64 `json:"peakParallel"`
+
+	// RacesBySite rolls observations up per site, most-observed first.
+	RacesBySite []SiteCount `json:"racesBySite"`
+	// Entries is the deduplicated race table in first-seen order.
+	Entries []RaceEntry `json:"entries"`
+	// Active and Recent list in-flight and recently finished streams.
+	Active []StreamSummary `json:"active"`
+	Recent []StreamSummary `json:"recent"`
+}
+
+// Report snapshots the fleet state. It is safe to call at any time,
+// including while streams are in flight — in-flight streams appear in
+// Active with their live counters.
+func (s *Server) Report() FleetReport {
+	now := time.Now()
+	var r FleetReport
+	r.Now = now
+	r.StartedAt = s.start
+	r.UptimeSec = now.Sub(s.start).Seconds()
+	r.Backend = s.cfg.Backend
+	r.Events.Total = s.eventsTotal.Load()
+	r.Events.PerSec = s.rate.Rate(now)
+	r.Races.Observed = s.observed.Load()
+	r.Races.Unique = s.dedup.Unique()
+	r.RacesBySite = s.dedup.BySite()
+	r.Entries = s.dedup.Snapshot()
+
+	s.mu.Lock()
+	r.Draining = s.draining
+	r.Streams.Total = s.total
+	r.Streams.Active = len(s.active)
+	r.Streams.Completed = s.completed
+	r.Streams.Failed = s.failed
+	r.PeakParallel = s.peak
+	for _, st := range s.active {
+		sum := st.summary("active", nil)
+		r.Active = append(r.Active, sum)
+		if sum.PeakParallel > r.PeakParallel {
+			r.PeakParallel = sum.PeakParallel
+		}
+	}
+	r.Recent = append([]StreamSummary(nil), s.recent...)
+	s.mu.Unlock()
+	return r
+}
+
+// HTTPHandler returns the server's HTTP surface:
+//
+//   - /report  — the FleetReport as JSON
+//   - /metrics — the same counters in Prometheus text exposition format
+//   - /healthz — 200 "ok" while serving, 503 "draining" during Shutdown
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/report", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Report())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeMetrics(w, s.Report())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeMetrics renders r in the Prometheus text exposition format.
+func writeMetrics(w http.ResponseWriter, r FleetReport) {
+	var b []byte
+	metric := func(name, help, typ string, write func()) {
+		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		write()
+	}
+	val := func(name string, v float64) { b = fmt.Appendf(b, "%s %g\n", name, v) }
+
+	metric("sptraced_streams_total", "Streams accepted since start, by final state.", "counter", func() {
+		b = fmt.Appendf(b, "sptraced_streams_total{state=\"ok\"} %d\n", r.Streams.Completed)
+		b = fmt.Appendf(b, "sptraced_streams_total{state=\"failed\"} %d\n", r.Streams.Failed)
+	})
+	metric("sptraced_streams_active", "Streams currently being ingested.", "gauge", func() {
+		val("sptraced_streams_active", float64(r.Streams.Active))
+	})
+	metric("sptraced_events_total", "Trace events applied across all streams.", "counter", func() {
+		val("sptraced_events_total", float64(r.Events.Total))
+	})
+	metric("sptraced_events_per_second", "Recent fleet-wide ingestion rate.", "gauge", func() {
+		val("sptraced_events_per_second", r.Events.PerSec)
+	})
+	metric("sptraced_races_observed_total", "Race observations before deduplication.", "counter", func() {
+		val("sptraced_races_observed_total", float64(r.Races.Observed))
+	})
+	metric("sptraced_races_unique", "Deduplicated (site pair, kind) race entries.", "gauge", func() {
+		val("sptraced_races_unique", float64(r.Races.Unique))
+	})
+	metric("sptraced_peak_parallelism", "Maximum instantaneous logical parallelism of any stream.", "gauge", func() {
+		val("sptraced_peak_parallelism", float64(r.PeakParallel))
+	})
+	metric("sptraced_draining", "1 while the server is draining.", "gauge", func() {
+		d := 0.0
+		if r.Draining {
+			d = 1
+		}
+		val("sptraced_draining", d)
+	})
+	w.Write(b)
+}

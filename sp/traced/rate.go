@@ -1,0 +1,52 @@
+package traced
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// rateWindow is the number of one-second buckets the meter keeps; the
+// reported rate averages the most recent complete seconds.
+const rateWindow = 16
+
+// meter is a lock-free sliding-window event-rate estimator: events land
+// in per-second buckets of a fixed ring; Rate averages the buckets of
+// the last ten complete seconds. A bucket is lazily reset when its ring
+// slot is reused for a new second (CAS on the slot's second stamp), so
+// the hot Add path is two atomic loads and an add.
+type meter struct {
+	buckets [rateWindow]struct {
+		sec atomic.Int64
+		n   atomic.Int64
+	}
+}
+
+// Add counts n events at time now.
+func (m *meter) Add(now time.Time, n int64) {
+	sec := now.Unix()
+	b := &m.buckets[sec%rateWindow]
+	old := b.sec.Load()
+	if old != sec {
+		if b.sec.CompareAndSwap(old, sec) {
+			b.n.Store(0)
+		}
+		// A lost CAS means another Add claimed the slot for this same
+		// second (stamps only move forward); fall through and count.
+	}
+	b.n.Add(n)
+}
+
+// Rate returns events per second averaged over the ten complete seconds
+// preceding now.
+func (m *meter) Rate(now time.Time) float64 {
+	const span = 10
+	sec := now.Unix()
+	var total int64
+	for s := sec - span; s < sec; s++ {
+		b := &m.buckets[s%rateWindow]
+		if b.sec.Load() == s {
+			total += b.n.Load()
+		}
+	}
+	return float64(total) / span
+}
