@@ -472,27 +472,34 @@ type concurrentBenchDoc struct {
 }
 
 // concurrentWorkloads mirrors the trace scenarios' access mixes as live
-// goroutine workloads: every goroutine is one monitored thread doing
-// reads over a shared address range (written serially by main before
-// the fork, so reads are race-free) and writes over a thread-private
-// range. The mix is the knob: readmostly writes 1/16 of the time, the
-// forkjoin-style mix 1/4.
+// goroutine workloads. The access workloads (readmostly, forkjoin):
+// every goroutine is one monitored thread doing reads over a shared
+// address range (written serially by main before the fork, so reads
+// are race-free) and writes over a thread-private range; the mix is
+// the knob — readmostly writes 1/16 of the time, the forkjoin-style
+// mix 1/4. The forkheavy workload instead drives Fork/Join through the
+// live monitor from every goroutine — the structural-event scaling
+// measurement — and runs on both concurrent backends: sp-hybrid
+// (batched global-tier insertions) and depa (lock-free labels).
 var concurrentWorkloads = []struct {
 	name       string
-	writeEvery int
+	writeEvery int  // access workloads: write once per writeEvery accesses
+	forkHeavy  bool // drive fork/join loops instead of accesses
+	backends   []string
 }{
-	{"readmostly", 16},
-	{"forkjoin", 4},
+	{name: "readmostly", writeEvery: 16, backends: []string{"sp-hybrid"}},
+	{name: "forkjoin", writeEvery: 4, backends: []string{"sp-hybrid"}},
+	{name: "forkheavy", forkHeavy: true, backends: []string{"sp-hybrid", "depa"}},
 }
 
 const concurrentSharedLocs = 64
 
 // runConcurrentWorkload forks g monitored goroutine-threads off one
-// live sp-hybrid monitor, lets each perform perG reads/writes through
-// its cached sp.Thread handle, and returns the wall time of the access
-// phase (forks, joins, and Report excluded) plus the run's race count.
-func runConcurrentWorkload(writeEvery, g, perG int) (time.Duration, int) {
-	m := sp.MustMonitor(sp.WithBackend("sp-hybrid"), sp.WithWorkers(g))
+// live monitor, lets each perform perG reads/writes through its cached
+// sp.Thread handle, and returns the wall time of the access phase
+// (forks, joins, and Report excluded) plus the run's race count.
+func runConcurrentWorkload(backend string, writeEvery, g, perG int) (time.Duration, int) {
+	m := sp.MustMonitor(sp.WithBackend(backend), sp.WithWorkers(g))
 	cur := m.Thread(m.Main())
 	for a := uint64(0); a < concurrentSharedLocs; a++ {
 		cur.Write(a) // main precedes every worker: reads below are race-free
@@ -529,6 +536,46 @@ func runConcurrentWorkload(writeEvery, g, perG int) (time.Duration, int) {
 	return elapsed, len(m.Report().Races)
 }
 
+// runForkHeavyWorkload forks g monitored goroutine-threads and lets
+// each run iters fork–access–join iterations through its sp.Thread
+// handle: every iteration is one Fork, one or two Writes (mostly to a
+// thread-private range; every 64th iteration to one of a few shared
+// cells, racy across the parallel workers), and one Join. Structural
+// events dominate the stream — the measurement is the monitor's
+// structural fast path plus the backend's fork/join cost (batched
+// global-tier insertion for sp-hybrid, label derivation for depa).
+// The returned duration covers the fork/join phase; the race count
+// comes from the shared-cell writes.
+func runForkHeavyWorkload(backend string, g, iters int) (time.Duration, int) {
+	m := sp.MustMonitor(sp.WithBackend(backend), sp.WithWorkers(g))
+	cur := m.Thread(m.Main())
+	workers := make([]sp.Thread, g)
+	for i := range workers {
+		workers[i], cur = cur.Fork()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range workers {
+		wg.Add(1)
+		go func(th sp.Thread, id int) {
+			defer wg.Done()
+			priv := uint64(1)<<32 + uint64(id)<<16
+			for k := 0; k < iters; k++ {
+				l, c := th.Fork()
+				if k%64 == 0 {
+					l.Write(uint64(k/64) % 4) // shared racy cells
+				} else {
+					l.Write(priv + uint64(k%256))
+				}
+				th = l.Join(c)
+			}
+		}(workers[i], i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return elapsed, len(m.Report().Races)
+}
+
 // concurrentGoroutineCounts parses -goroutines, defaulting to powers of
 // two up to max(4, NumCPU) plus NumCPU itself.
 func concurrentGoroutineCounts() []int {
@@ -558,12 +605,14 @@ func concurrentGoroutineCounts() []int {
 	return out
 }
 
-// concurrentBench measures aggregate Read/Write throughput of one live
-// sp-hybrid monitor under increasing goroutine counts — the scaling
-// proof of the sharded lock-free access fast path. On single-CPU hosts
-// it measures contention overhead under oversubscription (throughput
-// should hold roughly flat as goroutines grow) rather than wall-clock
-// speedup, as with the Theorem 10 experiment.
+// concurrentBench measures aggregate event throughput of one live
+// monitor under increasing goroutine counts. The access workloads are
+// the scaling proof of the sharded lock-free access fast path; the
+// forkheavy workload exercises the structural fast path (no monitor
+// mutex) plus each concurrent backend's fork/join cost. On single-CPU
+// hosts it measures contention overhead under oversubscription
+// (throughput should hold roughly flat as goroutines grow) rather
+// than wall-clock speedup, as with the Theorem 10 experiment.
 func concurrentBench(jsonOut bool) {
 	perG := 200000
 	if *quick {
@@ -576,51 +625,71 @@ func concurrentBench(jsonOut bool) {
 		Quick:                *quick,
 		AccessesPerGoroutine: perG,
 		Note: "accesses/sec is aggregate across goroutines; speedupVs1 is vs the 1-goroutine run " +
-			"of the same workload (0 when the run list has no preceding 1-goroutine baseline); " +
-			"on single-CPU hosts this measures oversubscription overhead, not parallel speedup",
+			"of the same (workload, backend) pair (0 when the run list has no preceding 1-goroutine " +
+			"baseline); forkheavy rows count monitored events (one fork, one write, one join per " +
+			"iteration) in the accesses column; on single-CPU hosts this measures oversubscription " +
+			"overhead, not parallel speedup",
 	}
 	if !jsonOut {
-		fmt.Println("=== Concurrent monitor scaling (sp-hybrid, sharded lock-free access path) ===")
-		fmt.Printf("%-12s %6s %12s %8s %12s %14s %10s\n",
-			"workload", "G", "accesses", "races", "ns/access", "accesses/sec", "vs G=1")
+		fmt.Println("=== Concurrent monitor scaling (lock-free access + structural fast paths) ===")
+		fmt.Printf("%-12s %-12s %6s %12s %8s %12s %14s %10s\n",
+			"workload", "backend", "G", "events", "races", "ns/event", "events/sec", "vs G=1")
 	}
 	for _, w := range concurrentWorkloads {
-		var base float64
-		for _, g := range counts {
-			// Best access-phase time over the repetitions (monitor setup,
-			// forks, joins, and Report are excluded from the clock).
-			runtime.GC()
-			best := time.Duration(1<<62 - 1)
-			var races int
-			for i := 0; i < reps(); i++ {
-				e, r := runConcurrentWorkload(w.writeEvery, g, perG)
-				races = r
-				if e < best {
-					best = e
+		// Fork/join iterations are ~3 monitored events each and carry OM
+		// or label maintenance; scale the per-goroutine count down so the
+		// workloads take comparable time.
+		iters := perG
+		if w.forkHeavy {
+			iters = perG / 10
+		}
+		for _, b := range w.backends {
+			var base float64
+			for _, g := range counts {
+				// Best phase time over the repetitions (monitor setup and
+				// Report are excluded from the clock).
+				runtime.GC()
+				best := time.Duration(1<<62 - 1)
+				var races int
+				for i := 0; i < reps(); i++ {
+					var e time.Duration
+					var r int
+					if w.forkHeavy {
+						e, r = runForkHeavyWorkload(b, g, iters)
+					} else {
+						e, r = runConcurrentWorkload(b, w.writeEvery, g, iters)
+					}
+					races = r
+					if e < best {
+						best = e
+					}
 				}
-			}
-			total := int64(g) * int64(perG)
-			nsPer := float64(best.Nanoseconds()) / float64(total)
-			perSec := 1e9 / nsPer // aggregate across goroutines
-			r := concurrentBenchResult{
-				Workload:       w.name,
-				Backend:        "sp-hybrid",
-				Goroutines:     g,
-				Accesses:       total,
-				Races:          races,
-				NsPerAccess:    nsPer,
-				AccessesPerSec: perSec,
-			}
-			if g == 1 {
-				base = perSec
-			}
-			if base > 0 {
-				r.SpeedupVs1 = perSec / base
-			}
-			doc.Results = append(doc.Results, r)
-			if !jsonOut {
-				fmt.Printf("%-12s %6d %12d %8d %12.1f %14.0f %9.2fx\n",
-					r.Workload, r.Goroutines, r.Accesses, r.Races, r.NsPerAccess, r.AccessesPerSec, r.SpeedupVs1)
+				total := int64(g) * int64(iters)
+				if w.forkHeavy {
+					total *= 3 // fork + write + join per iteration
+				}
+				nsPer := float64(best.Nanoseconds()) / float64(total)
+				perSec := 1e9 / nsPer // aggregate across goroutines
+				r := concurrentBenchResult{
+					Workload:       w.name,
+					Backend:        b,
+					Goroutines:     g,
+					Accesses:       total,
+					Races:          races,
+					NsPerAccess:    nsPer,
+					AccessesPerSec: perSec,
+				}
+				if g == 1 {
+					base = perSec
+				}
+				if base > 0 {
+					r.SpeedupVs1 = perSec / base
+				}
+				doc.Results = append(doc.Results, r)
+				if !jsonOut {
+					fmt.Printf("%-12s %-12s %6d %12d %8d %12.1f %14.0f %9.2fx\n",
+						r.Workload, r.Backend, r.Goroutines, r.Accesses, r.Races, r.NsPerAccess, r.AccessesPerSec, r.SpeedupVs1)
+				}
 			}
 		}
 	}
@@ -633,8 +702,9 @@ func concurrentBench(jsonOut bool) {
 		fmt.Println(string(out))
 		return
 	}
-	fmt.Println("(one live monitor, G goroutine-threads via cached sp.Thread handles; reads hit 64 shared")
-	fmt.Println(" locations, writes hit thread-private ones; commit `spbench -table concurrent -json` as")
+	fmt.Println("(one live monitor, G goroutine-threads via cached sp.Thread handles; access workloads read")
+	fmt.Println(" 64 shared locations and write thread-private ones; forkheavy runs fork-write-join loops")
+	fmt.Println(" on each concurrent backend; commit `spbench -table concurrent -json` as")
 	fmt.Println(" BENCH_concurrent.json to track the scaling trajectory)")
 	fmt.Println()
 }

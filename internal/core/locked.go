@@ -58,6 +58,27 @@ func (l *LockedSPOrder) Parallel(u, v *spt.Node) bool {
 	return r
 }
 
+// EnglishBefore reports u <_E v under the global lock. The two-reader
+// shadow protocol needs the exact total orders to stay complete off the
+// serial depth-first execution order, which is exactly the regime the
+// naive parallel detector runs in.
+func (l *LockedSPOrder) EnglishBefore(u, v *spt.Node) bool {
+	l.mu.Lock()
+	l.LockAcquisitions++
+	r := l.sp.EnglishBefore(u, v)
+	l.mu.Unlock()
+	return r
+}
+
+// HebrewBefore reports u <_H v under the global lock.
+func (l *LockedSPOrder) HebrewBefore(u, v *spt.Node) bool {
+	l.mu.Lock()
+	l.LockAcquisitions++
+	r := l.sp.HebrewBefore(u, v)
+	l.mu.Unlock()
+	return r
+}
+
 // EnsureVisited visits, under the global lock, every not-yet-visited
 // ancestor of n from the top down (and n itself if internal). This lets a
 // parallel tree walk lazily expand the shared structure from any worker:

@@ -89,6 +89,18 @@ func (s *SPOrder) Parallel(u, v *spt.Node) bool {
 		s.heb.Precedes(s.hebItem[u.ID], s.hebItem[v.ID])
 }
 
+// EnglishBefore reports u <_E v: u before v in the English total order.
+// Both nodes must have been visited.
+func (s *SPOrder) EnglishBefore(u, v *spt.Node) bool {
+	return s.eng.Precedes(s.engItem[u.ID], s.engItem[v.ID])
+}
+
+// HebrewBefore reports u <_H v: u before v in the Hebrew total order.
+// Both nodes must have been visited.
+func (s *SPOrder) HebrewBefore(u, v *spt.Node) bool {
+	return s.heb.Precedes(s.hebItem[u.ID], s.hebItem[v.ID])
+}
+
 // Run performs the complete left-to-right walk of the tree, calling exec
 // for every thread as it executes (the EXECUTE-THREAD of Figure 5; exec
 // may query the structure). It is the serial on-the-fly driver used by

@@ -1,0 +1,159 @@
+// Package depa implements DePa-style fork-path order maintenance for
+// binary fork-join programs (Westrick, Wang, Acar — "Efficient Parallel
+// Determinacy Race Detection at Scale", arXiv 2204.14168).
+//
+// Where the paper's SP-order and SP-hybrid maintain two explicit
+// order-maintenance lists, DePa gives every thread a static label — its
+// fork path — from which BOTH total orders (English and Hebrew) are
+// computed at query time. A label is a persistent linked path of per-
+// nesting-level components (tag, seq):
+//
+//   - tag is the branch taken at the fork that opened the level: the
+//     spawned branch (left) or the continuation (right);
+//   - seq counts the structural events the level's frame has passed:
+//     forking bumps the creator's last component into the shared base,
+//     joining bumps it again into the continuation.
+//
+// Fork is O(1): three allocations, all sharing the parent's path as an
+// immutable prefix (base = parent with seq+1; two children extend base
+// with tags left/right and seq 0). Join is O(1): one allocation (strip
+// the branch level off the continuation terminal and bump). Labels never
+// mutate, so queries are lock-free and graph-independent: no shared
+// structure is consulted at all.
+//
+// A query walks the two paths to their divergence level — the deepest
+// components that differ under a shared prefix (prefixes are shared
+// structurally, so the walk compares pointers) — and reads both orders
+// off that one comparison:
+//
+//   - tags differ: the two threads sit in opposite branches of one fork,
+//     so they are parallel; English orders the spawned branch first,
+//     Hebrew the continuation first (the P-node swap).
+//   - seqs differ (tags equal): same branch, different epochs, so the
+//     smaller seq is serially before the larger in BOTH orders.
+//
+// Query cost is O(d) for fork-nesting depth d — the offset-span bound —
+// but with O(1) amortized space per thread (suffix sharing) and no
+// synchronization anywhere, which is what lets the sp adapter declare
+// every concurrency capability including lock-free structural events.
+package depa
+
+import "fmt"
+
+// Branch tags. The spawned (left) branch is English-earlier, so tags
+// compare in English order directly; Hebrew is the flip.
+const (
+	tagLeft  int8 = 0
+	tagRight int8 = 1
+)
+
+// Label is one thread's fork path. Labels are immutable after creation
+// and share their prefixes structurally; the zero value is not valid —
+// start from Root.
+type Label struct {
+	up    *Label // enclosing nesting level; nil at the root level
+	depth int32
+	tag   int8
+	seq   uint64
+}
+
+// Root returns the main thread's label.
+func Root() *Label { return &Label{} }
+
+// Depth returns the fork-nesting depth of the label (root = 0); queries
+// involving the label cost O(Depth).
+func (l *Label) Depth() int { return int(l.depth) }
+
+// Fork derives the labels of the two threads created when the thread
+// labeled parent forks: the spawned child (left) and the continuation
+// (right), logically parallel. O(1): the shared base bumps parent's
+// last component, and each child opens a new level at seq 0.
+func Fork(parent *Label) (left, right *Label) {
+	base := &Label{up: parent.up, depth: parent.depth, tag: parent.tag, seq: parent.seq + 1}
+	left = &Label{up: base, depth: base.depth + 1, tag: tagLeft}
+	right = &Label{up: base, depth: base.depth + 1, tag: tagRight}
+	return left, right
+}
+
+// Join derives the continuation label when threads left and right — the
+// terminals of the two branches of one fork — join. O(1): strip the
+// branch level and bump past the join. It panics if the two labels are
+// not branch terminals of the same fork (joins must be well nested).
+func Join(left, right *Label) *Label {
+	if left.up == nil || left.up != right.up || left.tag != tagLeft || right.tag != tagRight {
+		panic("depa: Join of threads that are not the two branch terminals of one fork")
+	}
+	base := right.up
+	return &Label{up: base.up, depth: base.depth, tag: base.tag, seq: base.seq + 1}
+}
+
+// relate compares u and v at their divergence level and returns whether
+// u is before v in the English and in the Hebrew order. u and v must be
+// distinct thread labels from one computation.
+func relate(u, v *Label) (eng, heb bool) {
+	a, b := u, v
+	for a.depth > b.depth {
+		a = a.up
+	}
+	for b.depth > a.depth {
+		b = b.up
+	}
+	if a == b {
+		// One path is a strict prefix of the other. Impossible between
+		// thread labels: a thread's seq is even at every level (children
+		// start at 0, joins add 2), while a fork base — the only node a
+		// deeper path hangs off — has odd seq.
+		panic(fmt.Sprintf("depa: thread label is a prefix of another (depths %d, %d)", u.depth, v.depth))
+	}
+	for a.up != b.up {
+		a, b = a.up, b.up
+	}
+	switch {
+	case a.tag != b.tag:
+		// Opposite branches of one fork: parallel. English spawns first.
+		eng = a.tag < b.tag
+		return eng, !eng
+	case a.seq != b.seq:
+		// Same branch, different epochs: serial, both orders agree.
+		eng = a.seq < b.seq
+		return eng, eng
+	default:
+		panic("depa: distinct labels with identical divergence component")
+	}
+}
+
+// EnglishBefore reports u <_E v (serial depth-first execution order).
+func EnglishBefore(u, v *Label) bool {
+	if u == v {
+		return false
+	}
+	eng, _ := relate(u, v)
+	return eng
+}
+
+// HebrewBefore reports u <_H v (spawn-swapped order).
+func HebrewBefore(u, v *Label) bool {
+	if u == v {
+		return false
+	}
+	_, heb := relate(u, v)
+	return heb
+}
+
+// Precedes reports u ≺ v: before in both orders (Lemma 1).
+func Precedes(u, v *Label) bool {
+	if u == v {
+		return false
+	}
+	eng, heb := relate(u, v)
+	return eng && heb
+}
+
+// Parallel reports u ∥ v: the two orders disagree.
+func Parallel(u, v *Label) bool {
+	if u == v {
+		return false
+	}
+	eng, heb := relate(u, v)
+	return eng != heb
+}

@@ -1,0 +1,151 @@
+package depa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spt"
+)
+
+// labelWalk replays tree n depth-first in the event model, assigning
+// every leaf the label of the thread executing it, and returns the label
+// of the thread that continues after the subtree. Serial composition
+// continues on the same thread, so consecutive serial leaves share a
+// label — exactly as they share a ThreadID in the event API.
+func labelWalk(n *spt.Node, cur *Label, out map[*spt.Node]*Label) *Label {
+	if n.IsLeaf() {
+		out[n] = cur
+		return cur
+	}
+	if n.IsS() {
+		cur = labelWalk(n.Left(), cur, out)
+		return labelWalk(n.Right(), cur, out)
+	}
+	l, r := Fork(cur)
+	lEnd := labelWalk(n.Left(), l, out)
+	rEnd := labelWalk(n.Right(), r, out)
+	return labelWalk0(lEnd, rEnd)
+}
+
+func labelWalk0(l, r *Label) *Label { return Join(l, r) }
+
+// TestHandExample pins the worked example P(a, S(P(c, d), e)): a is
+// parallel to everything, c ∥ d, both precede e.
+func TestHandExample(t *testing.T) {
+	main := Root()
+	a, cont := Fork(main) // a ∥ rest
+	c, d := Fork(cont)
+	e := Join(c, d) // continuation after c, d
+	if !Parallel(a, c) || !Parallel(a, d) || !Parallel(a, e) {
+		t.Fatal("a must be parallel to the whole right branch")
+	}
+	if !Parallel(c, d) || Parallel(d, c) == false {
+		t.Fatal("c ∥ d expected")
+	}
+	if !Precedes(c, e) || !Precedes(d, e) || !Precedes(main, e) {
+		t.Fatal("c, d, main must precede e")
+	}
+	if Precedes(e, c) || Precedes(e, main) {
+		t.Fatal("follows direction wrong")
+	}
+	// Order queries: English runs a (spawned) before cont's branch;
+	// Hebrew flips the fork.
+	if !EnglishBefore(a, c) || HebrewBefore(a, c) {
+		t.Fatal("a must be English-before and Hebrew-after c")
+	}
+	if !EnglishBefore(main, a) || !HebrewBefore(main, a) {
+		t.Fatal("main is before everything in both orders")
+	}
+}
+
+// TestJoinValidation checks Join panics when the two labels are not the
+// branch terminals of one fork (malformed, non-well-nested join).
+func TestJoinValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Join of non-siblings did not panic")
+		}
+	}()
+	l1, r1 := Fork(Root())
+	l2, _ := Fork(l1)
+	_ = r1
+	Join(l2, r1) // terminals of different forks
+}
+
+// TestRandomTreesAgainstOracle cross-checks all four query forms
+// against the parse-tree LCA oracle over random programs: for every
+// pair of leaves executed by distinct threads, Precedes/Parallel and
+// the order queries must match the oracle (a ≺ b iff before in both
+// orders, a ∥ b iff the orders disagree, and English order is the
+// depth-first execution order).
+func TestRandomTreesAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		cfg := spt.DefaultGenConfig(2 + rng.Intn(30))
+		cfg.PProb = []float64{0.2, 0.5, 0.8}[rng.Intn(3)]
+		cfg.Skew = []float64{0.15, 0.5, 0.85}[rng.Intn(3)]
+		tree := spt.Generate(cfg, rng)
+		oracle := spt.NewOracle(tree)
+		labels := map[*spt.Node]*Label{}
+		labelWalk(tree.Root(), Root(), labels)
+
+		leaves := tree.Threads()
+		// English order of distinct thread labels follows leaf
+		// (depth-first) order.
+		for i, u := range leaves {
+			for _, v := range leaves[i+1:] {
+				lu, lv := labels[u], labels[v]
+				if lu == lv {
+					continue // same event thread (serial block)
+				}
+				if !EnglishBefore(lu, lv) || EnglishBefore(lv, lu) {
+					t.Fatalf("trial %d: English order wrong for %v, %v", trial, u, v)
+				}
+				wantPrec := oracle.Precedes(u, v)
+				wantPar := oracle.Parallel(u, v)
+				if Precedes(lu, lv) != wantPrec {
+					t.Fatalf("trial %d: Precedes(%v,%v) = %v, oracle %v", trial, u, v, !wantPrec, wantPrec)
+				}
+				if Parallel(lu, lv) != wantPar || Parallel(lv, lu) != wantPar {
+					t.Fatalf("trial %d: Parallel(%v,%v) disagrees with oracle %v", trial, u, v, wantPar)
+				}
+				// Hebrew-before agrees with English on serial pairs and
+				// flips on parallel pairs (Lemma 1).
+				if wantPar {
+					if HebrewBefore(lu, lv) {
+						t.Fatalf("trial %d: parallel pair %v,%v must disagree across orders", trial, u, v)
+					}
+				} else if !HebrewBefore(lu, lv) {
+					t.Fatalf("trial %d: serial pair %v,%v must agree across orders", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestStructuralSharing asserts the O(1)-space claim: a fork allocates
+// three nodes and a join one, with the parent path shared, so a spine
+// of n forks costs O(n) total — not O(n²) — label memory. We verify by
+// checking pointer-shared prefixes rather than counting allocations:
+// the left and right children of a fork share their up pointer, and the
+// join continuation shares the grandparent path.
+func TestStructuralSharing(t *testing.T) {
+	cur := Root()
+	for i := 0; i < 64; i++ {
+		l, r := Fork(cur)
+		if l.up != r.up {
+			t.Fatal("fork children must share their base")
+		}
+		if l.up.up != cur.up {
+			t.Fatal("fork base must share the parent's prefix")
+		}
+		cont := Join(l, r)
+		if cont.up != cur.up || cont.Depth() != cur.Depth() {
+			t.Fatal("join continuation must return to the parent level")
+		}
+		cur = cont
+	}
+	if cur.Depth() != 0 {
+		t.Fatalf("flat fork-join spine ended at depth %d", cur.Depth())
+	}
+}

@@ -38,7 +38,7 @@ type CItem struct {
 // observes a consistent snapshot (validated by the double read) or
 // retries.
 type Concurrent struct {
-	mu    sync.Mutex
+	mu    *sync.Mutex
 	front *CItem
 	n     int
 
@@ -50,8 +50,26 @@ type Concurrent struct {
 	Rebalances   atomic.Int64
 }
 
-// NewConcurrent returns an empty concurrent order-maintenance list.
-func NewConcurrent() *Concurrent { return &Concurrent{} }
+// NewConcurrent returns an empty concurrent order-maintenance list with
+// its own private insertion lock.
+func NewConcurrent() *Concurrent { return &Concurrent{mu: &sync.Mutex{}} }
+
+// NewConcurrentShared returns an empty concurrent order-maintenance list
+// whose insertions serialize on the caller-supplied lock. SP-hybrid's
+// global tier shares ONE insertion lock between its English and Hebrew
+// lists (the paper's Figure 8 acquires a single lock around both
+// OM-MULTI-INSERTs), so a structural event batches all of its insertions
+// — in both orders — under a single acquisition via the *Locked
+// variants. Queries remain lock-free either way.
+func NewConcurrentShared(mu *sync.Mutex) *Concurrent { return &Concurrent{mu: mu} }
+
+// Lock acquires the list's insertion lock for a batch of *Locked calls.
+// Lists created by NewConcurrentShared share the lock, so locking one of
+// them covers insertions into all of them.
+func (c *Concurrent) Lock() { c.mu.Lock() }
+
+// Unlock releases the insertion lock taken by Lock.
+func (c *Concurrent) Unlock() { c.mu.Unlock() }
 
 // Len returns the number of items (taking the lock; intended for tests
 // and reporting, not hot paths).
@@ -65,6 +83,12 @@ func (c *Concurrent) Len() int {
 func (c *Concurrent) InsertFirst() *CItem {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.InsertFirstLocked()
+}
+
+// InsertFirstLocked is InsertFirst for callers already holding the
+// insertion lock (Lock).
+func (c *Concurrent) InsertFirstLocked() *CItem {
 	if c.n != 0 {
 		panic("om: InsertFirst on non-empty Concurrent list")
 	}
@@ -81,6 +105,10 @@ func (c *Concurrent) InsertAfter(x *CItem) *CItem {
 	defer c.mu.Unlock()
 	return c.insertAfterLocked(x)
 }
+
+// InsertAfterLocked is InsertAfter for callers already holding the
+// insertion lock (Lock).
+func (c *Concurrent) InsertAfterLocked(x *CItem) *CItem { return c.insertAfterLocked(x) }
 
 // InsertBefore inserts a new item immediately before x and returns it.
 func (c *Concurrent) InsertBefore(x *CItem) *CItem {
@@ -110,6 +138,14 @@ func (c *Concurrent) InsertBefore(x *CItem) *CItem {
 func (c *Concurrent) MultiInsertAround(u *CItem, nBefore, nAfter int) (before, after []*CItem) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.MultiInsertAroundLocked(u, nBefore, nAfter)
+}
+
+// MultiInsertAroundLocked is MultiInsertAround for callers already
+// holding the insertion lock (Lock): lists sharing one lock batch the
+// English and Hebrew insertions of a structural event under a single
+// acquisition, as in Figure 8.
+func (c *Concurrent) MultiInsertAroundLocked(u *CItem, nBefore, nAfter int) (before, after []*CItem) {
 	before = make([]*CItem, nBefore)
 	after = make([]*CItem, nAfter)
 	// Insert the "before" items left to right: each is inserted

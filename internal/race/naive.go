@@ -51,14 +51,18 @@ func (c *naiveClient) Steal(thief int, t *sched.Task) *sched.Frame {
 }
 func (c *naiveClient) JoinComplete(w int, j *sched.Join) {}
 
-// naiveRel answers shadow queries through the locked structure.
+// naiveRel answers shadow queries through the locked structure,
+// including the exact order queries the two-reader protocol needs off
+// the serial depth-first access order.
 type naiveRel struct {
 	l   *core.LockedSPOrder
 	cur *spt.Node
 }
 
-func (r *naiveRel) PrecedesCurrent(u *spt.Node) bool { return r.l.Precedes(u, r.cur) }
-func (r *naiveRel) ParallelCurrent(u *spt.Node) bool { return r.l.Parallel(u, r.cur) }
+func (r *naiveRel) PrecedesCurrent(u *spt.Node) bool      { return r.l.Precedes(u, r.cur) }
+func (r *naiveRel) ParallelCurrent(u *spt.Node) bool      { return r.l.Parallel(u, r.cur) }
+func (r *naiveRel) EnglishBeforeCurrent(u *spt.Node) bool { return r.l.EnglishBefore(u, r.cur) }
+func (r *naiveRel) HebrewBeforeCurrent(u *spt.Node) bool  { return r.l.HebrewBefore(u, r.cur) }
 
 func (c *naiveClient) ExecThread(w int, f *sched.Frame, leaf *spt.Node) {
 	// Expand the shared structure up to this thread (OM-INSERTs under
@@ -70,7 +74,7 @@ func (c *naiveClient) ExecThread(w int, f *sched.Frame, leaf *spt.Node) {
 		case spt.Read, spt.Write:
 			c.accesses.Add(1)
 			var q int64
-			found := c.sh.Access(uint64(st.Loc), rel, leaf, nil, st.Op == spt.Write, &q)
+			found := c.sh.AccessOrdered(uint64(st.Loc), rel, leaf, nil, st.Op == spt.Write, &q)
 			c.queries.Add(q)
 			if found != nil {
 				c.mu.Lock()

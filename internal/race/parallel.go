@@ -12,14 +12,19 @@ import (
 
 // hybridRel adapts SP-hybrid queries against a fixed current thread. In
 // the parallel detector the "current" thread is always the one executing
-// on the calling worker, satisfying Theorem 9's precondition.
+// on the calling worker, satisfying Theorem 9's precondition. It answers
+// the English/Hebrew order queries exactly, which the two-reader shadow
+// protocol (OnAccessOrdered) needs to stay complete under the genuinely
+// concurrent access order a parallel replay produces.
 type hybridRel struct {
 	h   *sphybrid.SPHybrid
 	cur *spt.Node
 }
 
-func (r *hybridRel) PrecedesCurrent(u *spt.Node) bool { return r.h.Precedes(u, r.cur) }
-func (r *hybridRel) ParallelCurrent(u *spt.Node) bool { return r.h.Parallel(u, r.cur) }
+func (r *hybridRel) PrecedesCurrent(u *spt.Node) bool      { return r.h.Precedes(u, r.cur) }
+func (r *hybridRel) ParallelCurrent(u *spt.Node) bool      { return r.h.Parallel(u, r.cur) }
+func (r *hybridRel) EnglishBeforeCurrent(u *spt.Node) bool { return r.h.EnglishBefore(u, r.cur) }
+func (r *hybridRel) HebrewBeforeCurrent(u *spt.Node) bool  { return r.h.HebrewBefore(u, r.cur) }
 
 // ParallelReport extends Report with the SP-hybrid run statistics.
 type ParallelReport struct {
@@ -53,7 +58,7 @@ func DetectParallel(t *spt.Tree, workers int, seed int64, yield bool) ParallelRe
 			case spt.Read, spt.Write:
 				atomic.AddInt64(&accesses, 1)
 				var q int64
-				found := sh.Access(uint64(st.Loc), rel, u, nil, st.Op == spt.Write, &q)
+				found := sh.AccessOrdered(uint64(st.Loc), rel, u, nil, st.Op == spt.Write, &q)
 				atomic.AddInt64(&queries, q)
 				if found != nil {
 					mu.Lock()

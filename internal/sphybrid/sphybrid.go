@@ -183,10 +183,13 @@ func NewWithOptions(t *spt.Tree, exec ExecFunc, opts Options) *SPHybrid {
 	h := &SPHybrid{
 		tree:   t,
 		exec:   exec,
-		eng:    om.NewConcurrent(),
-		heb:    om.NewConcurrent(),
 		nodeOf: make([]atomic.Pointer[any], t.Len()),
 	}
+	// Both global-tier lists serialize their insertions on the ONE
+	// insertion lock of Section 4, so a steal's eight insertions (four
+	// per order) batch under a single acquisition.
+	h.eng = om.NewConcurrentShared(&h.globalMu)
+	h.heb = om.NewConcurrentShared(&h.globalMu)
 	if opts.CASLocalTier {
 		h.forest = &casForest{}
 	} else {
@@ -229,8 +232,10 @@ func (c *client) h() *SPHybrid { return (*SPHybrid)(c) }
 // single trace) and the root procedure frame.
 func (c *client) RootFrame() *sched.Frame {
 	h := c.h()
-	e := h.eng.InsertFirst()
-	hb := h.heb.InsertFirst()
+	h.globalMu.Lock()
+	e := h.eng.InsertFirstLocked()
+	hb := h.heb.InsertFirstLocked()
+	h.globalMu.Unlock()
 	t := h.newTrace(e, hb)
 	return &sched.Frame{Data: &frameData{trace: t}}
 }
@@ -307,12 +312,15 @@ func (c *client) Steal(thief int, t *sched.Task) *sched.Frame {
 	fd := t.Frame().Data.(*frameData)
 	u := fd.trace
 
-	// Global tier: insert the subtraces contiguously around U.
+	// Global tier: insert the subtraces contiguously around U, in both
+	// orders, under ONE acquisition of the shared insertion lock
+	// (Figure 8 lines 20–23 hold a single lock around both
+	// OM-MULTI-INSERTs; the lists share globalMu).
 	//   Eng: U1, U2, U, U4, U5
 	//   Heb: U1, U4, U, U2, U5
 	h.globalMu.Lock()
-	engBefore, engAfter := h.eng.MultiInsertAround(u.eng, 2, 2)
-	hebBefore, hebAfter := h.heb.MultiInsertAround(u.heb, 2, 2)
+	engBefore, engAfter := h.eng.MultiInsertAroundLocked(u.eng, 2, 2)
+	hebBefore, hebAfter := h.heb.MultiInsertAroundLocked(u.heb, 2, 2)
 	h.globalMu.Unlock()
 	u1 := h.newTrace(engBefore[0], hebBefore[0])
 	u4 := h.newTrace(engAfter[0], hebBefore[1])
@@ -411,6 +419,40 @@ func (h *SPHybrid) Parallel(u, v *spt.Node) bool {
 		return !du.isS
 	}
 	return h.eng.Precedes(tu.eng, tv.eng) != h.heb.Precedes(tu.heb, tv.heb)
+}
+
+// EnglishBefore reports u <_E v — u before the currently executing
+// thread v in the English (serial depth-first execution) order — with
+// Theorem 9's precondition. Different traces: the global English list
+// answers lock-free. Same trace: a trace is the set of threads executed
+// serially on one worker between steals, and u, already executed, ran
+// before v on that worker, so u is English-before v.
+func (h *SPHybrid) EnglishBefore(u, v *spt.Node) bool {
+	if u == v {
+		return false
+	}
+	_, tu := h.lookup(u)
+	_, tv := h.lookup(v)
+	if tu == tv {
+		return true
+	}
+	return h.eng.Precedes(tu.eng, tv.eng)
+}
+
+// HebrewBefore reports u <_H v (spawn-swapped order), same precondition
+// as EnglishBefore. Different traces: the global Hebrew list. Same
+// trace: English already holds (see EnglishBefore), so Hebrew-before
+// coincides with u ≺ v, which the local tier answers (S-bag ⇒ series).
+func (h *SPHybrid) HebrewBefore(u, v *spt.Node) bool {
+	if u == v {
+		return false
+	}
+	du, tu := h.lookup(u)
+	_, tv := h.lookup(v)
+	if tu == tv {
+		return du.isS
+	}
+	return h.heb.Precedes(tu.heb, tv.heb)
 }
 
 var _ sched.Client = (*client)(nil)

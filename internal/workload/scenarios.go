@@ -54,6 +54,11 @@ func Scenarios() []Scenario {
 			Description: "random SP program with precisely planted racy and race-free locations",
 			Build:       buildPlanted,
 		},
+		{
+			Name:        "forkheavy",
+			Description: "deep fork spine, structural events dominate, sparse accesses over a few shared racy cells",
+			Build:       buildForkHeavy,
+		},
 	}
 }
 
@@ -197,6 +202,38 @@ func buildReadMostly(threads int, seed int64) *spt.Tree {
 		l.Steps = steps
 	}
 	return tree
+}
+
+// buildForkHeavy is a deep fork spine whose threads mostly carry NO
+// accesses: the event stream is dominated by Fork/Join, the workload
+// that separates backends by structural-update cost (batched lazy OM
+// insertion for sp-hybrid, lock-free label derivation for depa, OM
+// splay maintenance for sp-order). A sparse eighth of the threads
+// write one of a few shared cells — racy across the parallel spine —
+// or read a disjoint range, so race detection stays exercised without
+// letting accesses dominate.
+func buildForkHeavy(threads int, seed int64) *spt.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	n := max(2, threads)
+	const sharedCells = 4
+	cur := spt.NewLeaf(fmt.Sprintf("f%d", n-1), 1)
+	for i := n - 2; i >= 0; i-- {
+		l := spt.NewLeaf(fmt.Sprintf("f%d", i), 1)
+		switch rng.Intn(8) {
+		case 0:
+			l.Steps = []spt.Step{spt.W(rng.Intn(sharedCells))}
+		case 1:
+			l.Steps = []spt.Step{spt.R(sharedCells + rng.Intn(16))}
+		}
+		// Mostly parallel compositions (the spine stays fork-heavy), with
+		// occasional serial links so both OM insert rules are exercised.
+		if rng.Intn(4) == 0 {
+			cur = spt.NewS(l, cur)
+		} else {
+			cur = spt.NewP(l, cur)
+		}
+	}
+	return spt.MustTree(cur)
 }
 
 // buildPlanted reuses PlantRaces: a random SP program with exact

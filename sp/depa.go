@@ -1,0 +1,104 @@
+package sp
+
+import (
+	"fmt"
+
+	"repro/internal/ctab"
+	"repro/internal/depa"
+)
+
+// This file adapts DePa-style fork-path order maintenance
+// (internal/depa; Westrick–Wang–Acar, arXiv 2204.14168) to the event
+// API as the second fully concurrent backend, racing the paper's
+// SP-hybrid design head-to-head in the differential harness and
+// spbench. Every thread's state is one immutable label published
+// through a lock-free table, so the backend has no locks at all:
+//
+//   - Fork/Join derive the new labels in O(1) from the creator's label
+//     (three allocations per fork, one per join, prefixes shared) and
+//     publish them with single atomic stores;
+//   - queries walk the two fork paths to their divergence component and
+//     read BOTH total orders off that one comparison — no retries, no
+//     global structure, no insertion lock to batch or amortize.
+//
+// That makes depa the one backend that declares every capability,
+// including ConcurrentStructural: a non-tracing Monitor applies its
+// structural events without the global mutex. The trade-off mirrors
+// offset-span: query cost is O(d) in fork-nesting depth, against
+// SP-hybrid's O(1)-expected lock-free global-tier comparison.
+
+// depaM is the DePa backend: one immutable label per thread.
+type depaM struct {
+	labels ctab.Table[depa.Label]
+}
+
+func newDepa() Maintainer { return &depaM{} }
+
+// label returns t's fork path, panicking on unknown threads. Lock-free.
+func (d *depaM) label(t ThreadID) *depa.Label {
+	l := d.labels.Get(int64(t))
+	if l == nil {
+		panic(fmt.Sprintf("sp: depa query on unknown thread t%d", t))
+	}
+	return l
+}
+
+func (d *depaM) Start(main ThreadID) { d.labels.Put(int64(main), depa.Root()) }
+
+func (d *depaM) Begin(ThreadID) {}
+
+func (d *depaM) Fork(parent, left, right ThreadID) {
+	l, r := depa.Fork(d.label(parent))
+	d.labels.Put(int64(left), l)
+	d.labels.Put(int64(right), r)
+}
+
+func (d *depaM) Join(left, right, cont ThreadID) {
+	d.labels.Put(int64(cont), depa.Join(d.label(left), d.label(right)))
+}
+
+func (d *depaM) Precedes(a, b ThreadID) bool { return depa.Precedes(d.label(a), d.label(b)) }
+
+func (d *depaM) Parallel(a, b ThreadID) bool { return depa.Parallel(d.label(a), d.label(b)) }
+
+// depaRel is the cached per-thread query handle: the current thread's
+// label is resolved once at thread creation (labels are immutable, so
+// the handle never goes stale), and every query is a pure pointer walk.
+type depaRel struct {
+	d   *depaM
+	lab *depa.Label
+}
+
+func (r depaRel) PrecedesCurrent(prev ThreadID) bool {
+	return depa.Precedes(r.d.label(prev), r.lab)
+}
+
+func (r depaRel) ParallelCurrent(prev ThreadID) bool {
+	return depa.Parallel(r.d.label(prev), r.lab)
+}
+
+func (r depaRel) EnglishBeforeCurrent(prev ThreadID) bool {
+	return depa.EnglishBefore(r.d.label(prev), r.lab)
+}
+
+func (r depaRel) HebrewBeforeCurrent(prev ThreadID) bool {
+	return depa.HebrewBefore(r.d.label(prev), r.lab)
+}
+
+// ThreadRelative implements HandleMaintainer.
+func (d *depaM) ThreadRelative(t ThreadID) CurrentRelative {
+	return depaRel{d: d, lab: d.label(t)}
+}
+
+func init() {
+	Register(BackendInfo{
+		Name:        "depa",
+		Description: "DePa fork-path labels: O(1) lock-free fork/join, both orders from one label walk",
+		UpdateBound: "O(1) worst case, lock-free", QueryBound: "O(d)", SpaceBound: "O(1) amortized (shared fork paths)",
+		FullQueries:          true,
+		AnyOrder:             true,
+		Synchronized:         true,
+		ConcurrentQueries:    true,
+		ConcurrentStructural: true,
+	}, newDepa)
+}

@@ -181,6 +181,80 @@ func (o *offsetSpan) Parallel(a, b ThreadID) bool {
 	return labels.RelateOffsetSpan(la, lb) == 0
 }
 
+// ehRel is the cached per-thread query handle: the current thread's
+// Hebrew label is resolved once at thread creation (labels are
+// generated at the structural event and never mutate), so each query
+// compares against the cached slice instead of re-indexing the backend
+// twice. Unlike the other serial backends, english-hebrew maintains
+// both total orders explicitly, so its order answers are exact.
+type ehRel struct {
+	e   *englishHebrew
+	cur ThreadID
+	heb []int32
+}
+
+func (r ehRel) PrecedesCurrent(prev ThreadID) bool {
+	if prev == r.cur {
+		return false
+	}
+	ep, ec := r.e.indices(prev, r.cur)
+	return ep < ec && labels.CompareHebrew(r.e.heb[prev], r.heb) < 0
+}
+
+func (r ehRel) ParallelCurrent(prev ThreadID) bool {
+	if prev == r.cur {
+		return false
+	}
+	ep, ec := r.e.indices(prev, r.cur)
+	return (ep < ec) != (labels.CompareHebrew(r.e.heb[prev], r.heb) < 0)
+}
+
+func (r ehRel) EnglishBeforeCurrent(prev ThreadID) bool {
+	if prev == r.cur {
+		return false
+	}
+	ep, ec := r.e.indices(prev, r.cur)
+	return ep < ec
+}
+
+func (r ehRel) HebrewBeforeCurrent(prev ThreadID) bool {
+	return prev != r.cur && labels.CompareHebrew(r.e.heb[prev], r.heb) < 0
+}
+
+// ThreadRelative implements HandleMaintainer (consumed under the
+// Monitor's serialization).
+func (e *englishHebrew) ThreadRelative(t ThreadID) CurrentRelative {
+	return ehRel{e: e, cur: t, heb: e.heb[t]}
+}
+
+// osRel is offset-span's cached per-thread handle; the label is
+// immutable once generated. Offset-span encodes no execution order, so
+// the order answers use the serial-stream equivalence the backend
+// requires anyway.
+type osRel struct {
+	o   *offsetSpan
+	cur ThreadID
+	lab []labels.OSPair
+}
+
+func (r osRel) PrecedesCurrent(prev ThreadID) bool {
+	return prev != r.cur && labels.RelateOffsetSpan(r.o.lab[prev], r.lab) < 0
+}
+
+func (r osRel) ParallelCurrent(prev ThreadID) bool {
+	return prev != r.cur && labels.RelateOffsetSpan(r.o.lab[prev], r.lab) == 0
+}
+
+func (r osRel) EnglishBeforeCurrent(prev ThreadID) bool { return prev != r.cur }
+
+func (r osRel) HebrewBeforeCurrent(prev ThreadID) bool { return r.PrecedesCurrent(prev) }
+
+// ThreadRelative implements HandleMaintainer (consumed under the
+// Monitor's serialization).
+func (o *offsetSpan) ThreadRelative(t ThreadID) CurrentRelative {
+	return osRel{o: o, cur: t, lab: o.lab[t]}
+}
+
 func init() {
 	Register(BackendInfo{
 		Name:        "english-hebrew",

@@ -183,13 +183,17 @@ func WithTrace(w io.Writer) Option { return func(c *config) { c.traceW = w } }
 // access, and lock events, optionally detecting determinacy races on the
 // fly. Create one with NewMonitor; the zero Monitor is not valid.
 //
-// Every method is safe for concurrent use. Structural events — Fork,
-// Join, Acquire, Release, Begin — always serialize through one global
-// mutex. Read/Write take the sharded fast path when the backend is
-// internally synchronized and declares ConcurrentQueries (sp-hybrid):
-// they synchronize only on the owning shadow-memory shard, with
-// thread-state and SP-handle lookups lock-free. For other backends the
-// Monitor serializes accesses too; backends whose BackendInfo.AnyOrder
+// Every method is safe for concurrent use. Read/Write take the sharded
+// fast path when the backend is internally synchronized and declares
+// ConcurrentQueries (sp-hybrid, depa): they synchronize only on the
+// owning shadow-memory shard, with thread-state and SP-handle lookups
+// lock-free. Structural events — Fork, Join, Acquire, Release, Begin —
+// serialize through one global mutex UNLESS the backend additionally
+// declares ConcurrentStructural and no trace is being recorded, in
+// which case they too run without the global mutex (sp-hybrid batches
+// its global-tier order-maintenance insertions under one shared
+// insertion lock; depa takes no lock at all). For other backends the
+// Monitor serializes everything; backends whose BackendInfo.AnyOrder
 // is false additionally require the serial depth-first event order that
 // Replay produces.
 type Monitor struct {
@@ -199,10 +203,11 @@ type Monitor struct {
 	handles HandleMaintainer // non-nil when the backend hands out query handles
 	orders  orderQuerier     // non-nil when the backend answers order queries exactly
 
-	raceDetect bool
-	lockAware  bool
-	fastAccess bool // Read/Write bypass mu: Synchronized + ConcurrentQueries + exact orders, not lock-aware
-	lockFreeQ  bool // queries may run without mu: Synchronized + ConcurrentQueries
+	raceDetect     bool
+	lockAware      bool
+	fastAccess     bool // Read/Write bypass mu: Synchronized + ConcurrentQueries + exact orders, not lock-aware
+	lockFreeQ      bool // queries may run without mu: Synchronized + ConcurrentQueries
+	fastStructural bool // Fork/Join/Acquire/Release/Begin bypass mu: ConcurrentStructural, no trace
 
 	trace       *wire.Encoder     // nil unless WithTrace
 	traceShards []*wire.AccessBuf // per-shard access staging, fast-path monitors only
@@ -270,6 +275,10 @@ func NewMonitor(opts ...Option) (*Monitor, error) {
 	// two-reader protocol would silently lose completeness.
 	m.lockFreeQ = info.Synchronized && info.ConcurrentQueries
 	m.fastAccess = m.lockFreeQ && !cfg.lockAware && (m.handles != nil || m.orders != nil)
+	// Structural events bypass the global mutex only when the backend
+	// accepts them concurrently AND no trace is being recorded (the
+	// trace encoder and its linearizing shard flushes need the mutex).
+	m.fastStructural = m.lockFreeQ && info.ConcurrentStructural && cfg.traceW == nil
 	if cfg.traceW != nil {
 		m.trace = wire.NewEncoder(cfg.traceW)
 		if m.fastAccess {
@@ -308,19 +317,19 @@ func (m *Monitor) newThread() ThreadID {
 	return id
 }
 
-// bindRel caches the backend's query handle on t's state. On fast-path
-// monitors every access consults the handle instead of the backend's
-// by-ID query surface; it is bound under the monitor mutex before the
-// new ThreadID escapes to the caller.
+// bindRel caches the backend's query handle on t's state, before the
+// new ThreadID escapes to the caller. On fast-path monitors every
+// access consults the handle instead of the backend's by-ID query
+// surface; serial backends that hand out handles (sp-bags, the
+// labelers) get them bound too, so their serialized replay path skips
+// the per-query backend indirection as well.
 func (m *Monitor) bindRel(t ThreadID) {
-	if !m.fastAccess {
+	if m.handles != nil {
+		m.state(t).rel = m.handles.ThreadRelative(t)
 		return
 	}
-	st := m.state(t)
-	if m.handles != nil {
-		st.rel = m.handles.ThreadRelative(t)
-	} else {
-		st.rel = relCur{m, t}
+	if m.fastAccess {
+		m.state(t).rel = relCur{m, t}
 	}
 }
 
@@ -344,10 +353,12 @@ func (m *Monitor) checkLive(t ThreadID, st *threadState, ev string) {
 	}
 }
 
-// begin marks t's first action. Callers hold m.mu or own t.
+// begin marks t's first action. Callers hold m.mu, or own t on a
+// fast-structural monitor (where concurrent owners of DISTINCT threads
+// may race here, so the first-action claim is a CAS; tracing monitors
+// never take the lock-free route, keeping the encoder serialized).
 func (m *Monitor) begin(t ThreadID, st *threadState) {
-	if !st.begun.Load() {
-		st.begun.Store(true)
+	if st.begun.CompareAndSwap(false, true) {
 		m.backend.Begin(t)
 		if m.trace != nil {
 			m.trace.Begin(int64(t))
@@ -386,6 +397,11 @@ func (m *Monitor) flushTraceShards() {
 // execution position (which the serial backends need for queries).
 func (m *Monitor) Begin(t ThreadID) {
 	st := m.state(t)
+	if m.fastStructural {
+		m.checkLive(t, st, "Begin")
+		m.begin(t, st)
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.checkLive(t, st, "Begin")
@@ -395,8 +411,26 @@ func (m *Monitor) Begin(t ThreadID) {
 // Fork ends parent's serial block and returns the two threads that
 // continue from it: the spawned child (left) and the continuation
 // (right), which run logically in parallel.
+//
+// On fast-structural monitors (a ConcurrentStructural backend, no
+// trace) Fork runs entirely without the global mutex: the thread table
+// is lock-free, the backend accepts concurrent structural updates, and
+// parent's state is owned by the calling goroutine — so fork-heavy
+// workloads scale like access-heavy ones.
 func (m *Monitor) Fork(parent ThreadID) (left, right ThreadID) {
 	st := m.state(parent)
+	if m.fastStructural {
+		m.checkLive(parent, st, "Fork")
+		m.begin(parent, st)
+		left, right = m.newThread(), m.newThread()
+		m.backend.Fork(parent, left, right)
+		m.bindRel(left)
+		m.bindRel(right)
+		st.retired.Store(true)
+		st.held = nil
+		m.forks.Add(1)
+		return left, right
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.checkLive(parent, st, "Fork")
@@ -422,11 +456,23 @@ func (m *Monitor) Fork(parent ThreadID) (left, right ThreadID) {
 // thread that runs logically after both.
 func (m *Monitor) Join(left, right ThreadID) (cont ThreadID) {
 	lst, rst := m.state(left), m.state(right)
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if left == right {
 		panic("sp: Join of a thread with itself")
 	}
+	if m.fastStructural {
+		m.checkLive(left, lst, "Join")
+		m.checkLive(right, rst, "Join")
+		cont = m.newThread()
+		m.backend.Join(left, right, cont)
+		m.bindRel(cont)
+		lst.retired.Store(true)
+		rst.retired.Store(true)
+		lst.held, rst.held = nil, nil
+		m.joins.Add(1)
+		return cont
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.checkLive(left, lst, "Join")
 	m.checkLive(right, rst, "Join")
 	cont = m.newThread()
@@ -463,6 +509,17 @@ func (m *Monitor) WriteAt(t ThreadID, addr uint64, site any) {
 // Acquire records that thread t locked mutex lock (reentrant).
 func (m *Monitor) Acquire(t ThreadID, lock int) {
 	st := m.state(t)
+	if m.fastStructural {
+		// held is only ever touched by t's own events, and t runs on
+		// one goroutine at a time, so no lock is needed.
+		m.checkLive(t, st, "Acquire")
+		m.begin(t, st)
+		if st.held == nil {
+			st.held = map[int]int{}
+		}
+		st.held[lock]++
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.checkLive(t, st, "Acquire")
@@ -482,6 +539,15 @@ func (m *Monitor) Acquire(t ThreadID, lock int) {
 // implicitly (a critical section never spans threads in this model).
 func (m *Monitor) Release(t ThreadID, lock int) {
 	st := m.state(t)
+	if m.fastStructural {
+		m.checkLive(t, st, "Release")
+		m.begin(t, st)
+		if st.held[lock] == 0 {
+			panic(fmt.Sprintf("sp: release of unheld mutex m%d by thread t%d", lock, t))
+		}
+		st.held[lock]--
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.checkLive(t, st, "Release")
@@ -584,7 +650,11 @@ func (m *Monitor) access(t ThreadID, st *threadState, addr uint64, write bool, s
 		return
 	}
 	var q int64
-	found := m.mem.AccessOrdered(addr, relCur{m, t}, t, site, write, &q)
+	rel := CurrentRelative(relCur{m, t})
+	if st.rel != nil {
+		rel = st.rel // backend-cached handle (serial backends bind these too)
+	}
+	found := m.mem.AccessOrdered(addr, rel, t, site, write, &q)
 	st.queries.Add(q)
 	if found != nil {
 		m.emit(Race{
@@ -602,9 +672,13 @@ func (m *Monitor) access(t ThreadID, st *threadState, addr uint64, write bool, s
 func (m *Monitor) fastPath(t ThreadID, st *threadState, addr uint64, write bool, site any) {
 	m.checkLive(t, st, "access")
 	if !st.begun.Load() {
-		m.mu.Lock()
-		m.begin(t, st)
-		m.mu.Unlock()
+		if m.fastStructural {
+			m.begin(t, st)
+		} else {
+			m.mu.Lock()
+			m.begin(t, st)
+			m.mu.Unlock()
+		}
 	}
 	st.accesses.Add(1)
 	idx := m.mem.ShardIndex(addr)
@@ -646,7 +720,10 @@ func (m *Monitor) lockAwareAccess(t ThreadID, st *threadState, addr uint64, writ
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	var q int64
-	rel := relCur{m, t}
+	rel := CurrentRelative(relCur{m, t})
+	if st.rel != nil {
+		rel = st.rel
+	}
 	for _, e := range sh.entries[addr] {
 		if e.t == t || !(write || e.write) {
 			continue

@@ -198,7 +198,7 @@ func TestRaceDetectionOff(t *testing.T) {
 // TestRegistryListing checks the registry surface the cmd tools consume.
 func TestRegistryListing(t *testing.T) {
 	names := sp.BackendNames()
-	want := []string{"english-hebrew", "offset-span", "sp-bags", "sp-hybrid", "sp-order", "sp-order-implicit"}
+	want := []string{"depa", "english-hebrew", "offset-span", "sp-bags", "sp-hybrid", "sp-order", "sp-order-implicit"}
 	if len(names) != len(want) {
 		t.Fatalf("backends = %v, want %v", names, want)
 	}

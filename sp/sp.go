@@ -144,9 +144,12 @@ type CurrentRelative interface {
 
 // HandleMaintainer is the optional capability interface of backends
 // that supply cached per-thread query handles. A handle must stay
-// valid for the thread's lifetime, be safe to query concurrently with
-// structural updates, and answer the order queries exactly (the
-// backend must also set BackendInfo.ConcurrentQueries).
+// valid for the thread's lifetime. On backends that set
+// BackendInfo.ConcurrentQueries, handles must additionally be safe to
+// query concurrently with structural updates and answer the order
+// queries exactly; serial backends' handles are consumed under the
+// Monitor's serialization and may use the serial-stream order
+// equivalence instead.
 type HandleMaintainer interface {
 	Maintainer
 	// ThreadRelative returns the query handle for thread t, which must
@@ -191,6 +194,15 @@ type BackendInfo struct {
 	// an internal order-query surface); the Monitor verifies that at
 	// construction and falls back to serialized accesses otherwise.
 	ConcurrentQueries bool
+	// ConcurrentStructural reports whether Start/Begin/Fork/Join may
+	// themselves be delivered concurrently (for distinct threads)
+	// without external locking, on top of Synchronized and
+	// ConcurrentQueries. It extends the fast path to structural events:
+	// on such backends a non-tracing Monitor applies Fork, Join,
+	// Acquire, and Release without the global mutex, so fork-heavy
+	// workloads scale too. Backends batching their global-tier updates
+	// (sp-hybrid) or keeping per-thread immutable state (depa) qualify.
+	ConcurrentStructural bool
 }
 
 var registry = struct {

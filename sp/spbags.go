@@ -167,6 +167,35 @@ func (b *spBags) Parallel(a, bb ThreadID) bool {
 	return b.kind(a) == pBag
 }
 
+// bagsRel is the cached per-thread query handle. SP-bags answers
+// queries against the current thread only, off its bag kinds, so the
+// handle needs no per-thread state beyond the identity guard; binding
+// it still spares the serialized replay path the per-access trip
+// through the Monitor's by-ID fallback. The order answers use the
+// serial-stream equivalence (the only regime sp-bags supports): every
+// past thread is English-before the current one, and Hebrew-before
+// coincides with precedes.
+type bagsRel struct {
+	b   *spBags
+	cur ThreadID
+}
+
+func (r bagsRel) PrecedesCurrent(prev ThreadID) bool {
+	return prev != r.cur && r.b.kind(prev) == sBag
+}
+
+func (r bagsRel) ParallelCurrent(prev ThreadID) bool {
+	return prev != r.cur && r.b.kind(prev) == pBag
+}
+
+func (r bagsRel) EnglishBeforeCurrent(prev ThreadID) bool { return prev != r.cur }
+
+func (r bagsRel) HebrewBeforeCurrent(prev ThreadID) bool { return r.PrecedesCurrent(prev) }
+
+// ThreadRelative implements HandleMaintainer (consumed under the
+// Monitor's serialization; sp-bags does not set ConcurrentQueries).
+func (b *spBags) ThreadRelative(t ThreadID) CurrentRelative { return bagsRel{b: b, cur: t} }
+
 func init() {
 	Register(BackendInfo{
 		Name:        "sp-bags",

@@ -2,6 +2,8 @@ package sp
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ctab"
 	"repro/internal/om"
@@ -12,31 +14,52 @@ import (
 // global tier orders TRACES — sets of threads executed on one processor
 // between steals — in two concurrent order-maintenance lists with a
 // single insertion lock and lock-free, timestamp-validated queries; its
-// local tier (SP-bags over a trace) exists to amortize global-tier
-// traffic down to O(steals).
+// local tier exists to amortize global-tier traffic: in the paper only
+// a steal forces global-tier work, so a P-processor execution pays for
+// O(P·T_∞) global insertions rather than one per fork.
 //
-// A live monitor has no scheduler and therefore no steals to observe, so
-// this backend treats every fork as a steal: each thread is its own
-// trace (the degenerate five-way split of Section 5 in which U1..U5 are
-// all singletons and the local tier is empty). The global-tier machinery
-// is used unchanged — om.Concurrent's OM-MULTI-INSERT under the
-// insertion lock, lock-free queries with retry validation — and the
-// insertion positions are the event-driven SP-order rules (see
-// sporder.go): Fork(u) inserts l, r after u (English) and r, l after u
-// (Hebrew); Join(a, b) inserts the continuation after the branch maxima
-// b (English) and a (Hebrew).
+// A live monitor has no scheduler and therefore no steals to observe,
+// so the paper's amortization lever is reproduced at the event layer:
+// structural events do NOT touch the global tier. Fork and Join append
+// a record to a pending queue under a small queue mutex and return —
+// the degenerate local tier, holding threads whose global positions
+// nobody has asked for yet. The global tier is updated lazily, in
+// batches: the first query that needs a still-pending thread (and, as
+// a backstop, every batchMax-th structural event) drains the queue,
+// materializing ALL pending threads' positions in both OM lists under
+// a SINGLE acquisition of the one shared insertion lock (the paper's
+// Figure 8 discipline: one global lock for all insertions, queries
+// lock-free). A fork-heavy phase that defers n structural events costs
+// one lock acquisition instead of n — the event-stream analogue of
+// "global-tier work only at steals", with a query playing the role of
+// the steal that forces trace splits.
 //
-// The thread→item tables are a lock-free chunked table (internal/ctab):
-// a query is two atomic loads to find the items plus the OM lists'
-// own lock-free label reads, so the Monitor's sharded access fast path
-// never takes a backend lock — the contention-free query discipline
-// DePa applies to task-parallel order maintenance. Structural updates
-// (Fork/Join) still serialize on the OM insertion locks, as in the
-// paper.
+// Materialization order is the queue's FIFO order, which respects the
+// fork-tree dependencies: a child's record is appended only after its
+// parent's record (by the same thread, or after synchronization that
+// published the parent's ID), so a drain always finds the insertion
+// anchor already materialized. The insertion positions are the
+// event-driven SP-order rules (see sporder.go): Fork(u) inserts l, r
+// after u (English) and r, l after u (Hebrew); Join(a, b) inserts the
+// continuation after the branch maxima b (English) and a (Hebrew).
+//
+// The thread→item table is a lock-free chunked table (internal/ctab):
+// once a thread is materialized, a query is two atomic loads to find
+// the items plus the OM lists' own lock-free label reads, so the
+// Monitor's sharded access fast path never takes a backend lock.
+// Structural events take only the queue mutex, so the Monitor delivers
+// them concurrently too (ConcurrentStructural).
 //
 // The scheduler-coupled SP-hybrid with real work-stealing and a live
-// local tier remains available for tree replay via repro.DetectParallel
-// and internal/sphybrid; this backend is its event-stream face.
+// SP-bags local tier remains available for tree replay via
+// repro.DetectParallel and internal/sphybrid; this backend is its
+// event-stream face.
+
+// batchMax bounds the pending queue: the batchMax-th deferred
+// structural event triggers a drain even with no query in sight, so a
+// long fork-only phase cannot grow the queue without bound and the
+// amortized global-tier cost stays one lock acquisition per batch.
+const batchMax = 128
 
 // hybridItem is one thread's position in both global-tier lists.
 type hybridItem struct {
@@ -44,47 +67,126 @@ type hybridItem struct {
 	h *om.CItem // Hebrew order
 }
 
+// hybridEvent is one deferred structural event: a fork
+// (parent→left∥right) or a join (left,right→cont).
+type hybridEvent struct {
+	fork    bool
+	a, b, c ThreadID // fork: parent, left, right; join: left, right, cont
+}
+
 // hybrid is the concurrent (live) SP-maintenance backend.
 type hybrid struct {
+	insMu    sync.Mutex // the single global-tier insertion lock (both lists share it)
 	eng, heb *om.Concurrent
 	items    ctab.Table[hybridItem]
+
+	pendMu  sync.Mutex
+	pending []hybridEvent
+
+	// drains and batched count non-empty drains and the events they
+	// materialized; drains ≪ batched is the amortization made visible.
+	drains  atomic.Uint64
+	batched atomic.Uint64
 }
 
 func newHybrid() Maintainer {
-	return &hybrid{eng: om.NewConcurrent(), heb: om.NewConcurrent()}
+	h := &hybrid{}
+	h.eng = om.NewConcurrentShared(&h.insMu)
+	h.heb = om.NewConcurrentShared(&h.insMu)
+	return h
 }
 
-// item returns t's list positions, panicking on unknown threads. The
-// lookup is lock-free.
-func (h *hybrid) item(t ThreadID) *hybridItem {
+// mustItem returns t's materialized positions. Called only with insMu
+// held during a drain, where every anchor is guaranteed present; a miss
+// is a dependency-order bug, not a pending thread.
+func (h *hybrid) mustItem(t ThreadID) *hybridItem {
 	it := h.items.Get(int64(t))
 	if it == nil {
-		panic(fmt.Sprintf("sp: sp-hybrid query on unknown thread t%d", t))
+		panic(fmt.Sprintf("sp: sp-hybrid drain found unmaterialized anchor t%d", t))
 	}
 	return it
 }
 
+// item returns t's list positions, draining the pending queue if t has
+// not been materialized yet. The fast path (already materialized) is
+// one lock-free table lookup.
+func (h *hybrid) item(t ThreadID) *hybridItem {
+	if it := h.items.Get(int64(t)); it != nil {
+		return it
+	}
+	h.drain()
+	if it := h.items.Get(int64(t)); it != nil {
+		return it
+	}
+	panic(fmt.Sprintf("sp: sp-hybrid query on unknown thread t%d", t))
+}
+
+// drain materializes every pending structural event's threads into the
+// two OM lists under one acquisition of the shared insertion lock.
+// Concurrent drains serialize on insMu; the queue swap happens inside,
+// so batches are processed in append order.
+func (h *hybrid) drain() {
+	h.insMu.Lock()
+	defer h.insMu.Unlock()
+	h.pendMu.Lock()
+	batch := h.pending
+	h.pending = nil
+	h.pendMu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	h.drains.Add(1)
+	h.batched.Add(uint64(len(batch)))
+	for _, ev := range batch {
+		if ev.fork {
+			p := h.mustItem(ev.a)
+			// OM-MULTI-INSERT with the lock already held: English
+			// ⟨u, l, r⟩, Hebrew ⟨u, r, l⟩ (the P-node swap).
+			_, eAfter := h.eng.MultiInsertAroundLocked(p.e, 0, 2)
+			_, hAfter := h.heb.MultiInsertAroundLocked(p.h, 0, 2)
+			// Publish each thread's two positions in one atomic store, so
+			// a concurrent query never sees a thread with only one list
+			// position.
+			h.items.Put(int64(ev.b), &hybridItem{e: eAfter[0], h: hAfter[1]})
+			h.items.Put(int64(ev.c), &hybridItem{e: eAfter[1], h: hAfter[0]})
+		} else {
+			l, r := h.mustItem(ev.a), h.mustItem(ev.b)
+			h.items.Put(int64(ev.c), &hybridItem{
+				e: h.eng.InsertAfterLocked(r.e),
+				h: h.heb.InsertAfterLocked(l.h),
+			})
+		}
+	}
+}
+
+// enqueue defers a structural event, draining once the queue hits
+// batchMax. The drain runs after the queue mutex is released (drain
+// acquires insMu before pendMu; appenders must never hold pendMu while
+// asking for insMu).
+func (h *hybrid) enqueue(ev hybridEvent) {
+	h.pendMu.Lock()
+	h.pending = append(h.pending, ev)
+	full := len(h.pending) >= batchMax
+	h.pendMu.Unlock()
+	if full {
+		h.drain()
+	}
+}
+
 func (h *hybrid) Start(main ThreadID) {
-	h.items.Put(int64(main), &hybridItem{e: h.eng.InsertFirst(), h: h.heb.InsertFirst()})
+	h.insMu.Lock()
+	h.items.Put(int64(main), &hybridItem{e: h.eng.InsertFirstLocked(), h: h.heb.InsertFirstLocked()})
+	h.insMu.Unlock()
 }
 
 func (h *hybrid) Begin(ThreadID) {}
 
 func (h *hybrid) Fork(parent, left, right ThreadID) {
-	p := h.item(parent)
-	// OM-MULTI-INSERT under each list's insertion lock: English
-	// ⟨u, l, r⟩, Hebrew ⟨u, r, l⟩ (the P-node swap).
-	_, eAfter := h.eng.MultiInsertAround(p.e, 0, 2)
-	_, hAfter := h.heb.MultiInsertAround(p.h, 0, 2)
-	// Publish each thread's two positions in one atomic store, so a
-	// concurrent query never sees a thread with only one list position.
-	h.items.Put(int64(left), &hybridItem{e: eAfter[0], h: hAfter[1]})
-	h.items.Put(int64(right), &hybridItem{e: eAfter[1], h: hAfter[0]})
+	h.enqueue(hybridEvent{fork: true, a: parent, b: left, c: right})
 }
 
 func (h *hybrid) Join(left, right, cont ThreadID) {
-	l, r := h.item(left), h.item(right)
-	h.items.Put(int64(cont), &hybridItem{e: h.eng.InsertAfter(r.e), h: h.heb.InsertAfter(l.h)})
+	h.enqueue(hybridEvent{a: left, b: right, c: cont})
 }
 
 // Precedes reports a ≺ b via lock-free global-tier queries (Figure 9
@@ -103,49 +205,68 @@ func (h *hybrid) Parallel(a, b ThreadID) bool {
 	return h.eng.Precedes(ia.e, ib.e) != h.heb.Precedes(ia.h, ib.h)
 }
 
-// hybridRel is the cached per-thread query handle: the current
-// thread's items are resolved once, so each query costs one lock-free
-// table lookup for the previous thread plus the OM label comparisons.
+// hybridRel is the cached per-thread query handle. Resolution is lazy:
+// the handle is created at the structural event that creates the
+// thread, when the thread is typically still pending — resolving there
+// would force a drain per fork and destroy the batching. The first
+// query resolves (draining if needed) and caches the items.
 type hybridRel struct {
 	h  *hybrid
-	it *hybridItem
+	id ThreadID
+	it atomic.Pointer[hybridItem]
 }
 
-func (r hybridRel) PrecedesCurrent(prev ThreadID) bool {
-	p := r.h.item(prev)
-	return r.h.eng.Precedes(p.e, r.it.e) && r.h.heb.Precedes(p.h, r.it.h)
+func (r *hybridRel) resolve() *hybridItem {
+	if it := r.it.Load(); it != nil {
+		return it
+	}
+	it := r.h.item(r.id)
+	r.it.Store(it)
+	return it
 }
 
-func (r hybridRel) ParallelCurrent(prev ThreadID) bool {
+func (r *hybridRel) PrecedesCurrent(prev ThreadID) bool {
+	cur := r.resolve()
 	p := r.h.item(prev)
-	return r.h.eng.Precedes(p.e, r.it.e) != r.h.heb.Precedes(p.h, r.it.h)
+	return r.h.eng.Precedes(p.e, cur.e) && r.h.heb.Precedes(p.h, cur.h)
+}
+
+func (r *hybridRel) ParallelCurrent(prev ThreadID) bool {
+	cur := r.resolve()
+	p := r.h.item(prev)
+	return r.h.eng.Precedes(p.e, cur.e) != r.h.heb.Precedes(p.h, cur.h)
 }
 
 // EnglishBeforeCurrent and HebrewBeforeCurrent answer the total-order
 // queries exactly (one lock-free OM label read each) — the capability
 // that keeps the two-reader race-detection protocol complete under
 // genuinely concurrent event delivery.
-func (r hybridRel) EnglishBeforeCurrent(prev ThreadID) bool {
-	return r.h.eng.Precedes(r.h.item(prev).e, r.it.e)
+func (r *hybridRel) EnglishBeforeCurrent(prev ThreadID) bool {
+	cur := r.resolve()
+	return r.h.eng.Precedes(r.h.item(prev).e, cur.e)
 }
 
-func (r hybridRel) HebrewBeforeCurrent(prev ThreadID) bool {
-	return r.h.heb.Precedes(r.h.item(prev).h, r.it.h)
+func (r *hybridRel) HebrewBeforeCurrent(prev ThreadID) bool {
+	cur := r.resolve()
+	return r.h.heb.Precedes(r.h.item(prev).h, cur.h)
 }
 
-// ThreadRelative implements HandleMaintainer.
+// ThreadRelative implements HandleMaintainer. It does not resolve the
+// thread's positions — t may still be pending, and binding happens on
+// the structural fast path.
 func (h *hybrid) ThreadRelative(t ThreadID) CurrentRelative {
-	return hybridRel{h: h, it: h.item(t)}
+	return &hybridRel{h: h, id: t}
 }
 
 func init() {
 	Register(BackendInfo{
 		Name:        "sp-hybrid",
-		Description: "SP-hybrid global tier: concurrent OM lists, lock-free queries, every fork a steal",
-		UpdateBound: "O(1) amortized (under the insertion lock)", QueryBound: "O(1) expected, lock-free", SpaceBound: "O(1)",
-		FullQueries:       true,
-		AnyOrder:          true,
-		Synchronized:      true,
-		ConcurrentQueries: true,
+		Description: "SP-hybrid global tier: batched lazy OM insertions under one lock, lock-free queries",
+		UpdateBound: "O(1) amortized (one insertion-lock acquisition per batch)", QueryBound: "O(1) expected, lock-free", SpaceBound: "O(1)",
+		FullQueries:          true,
+		AnyOrder:             true,
+		Synchronized:         true,
+		ConcurrentQueries:    true,
+		ConcurrentStructural: true,
 	}, newHybrid)
 }
