@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/workload"
+	"repro/sp/metrics"
 	"repro/sp/traced"
 )
 
@@ -26,6 +27,9 @@ type ingestBenchResult struct {
 	WallMS       float64 `json:"wallMs"`
 	EventsPerSec float64 `json:"eventsPerSec"`
 	SpeedupVs1   float64 `json:"speedupVs1"`
+	// Metrics is the backend-internals excerpt recorded while this row
+	// ran (instrumented build; see benchMetrics).
+	Metrics *benchMetrics `json:"metrics,omitempty"`
 }
 
 // ingestBenchDoc is the -table ingest -json output envelope.
@@ -41,8 +45,8 @@ type ingestBenchDoc struct {
 // runIngestFleet streams clients concurrently at a fresh in-process
 // traced.Server over real TCP and returns the wall time of the
 // streaming phase plus the drained server's final report.
-func runIngestFleet(clients []workload.FleetClient) (time.Duration, traced.FleetReport) {
-	s, err := traced.New(traced.Config{})
+func runIngestFleet(clients []workload.FleetClient, reg *metrics.Registry) (time.Duration, traced.FleetReport) {
+	s, err := traced.New(traced.Config{Metrics: reg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -110,8 +114,9 @@ func ingestBench(jsonOut bool) {
 		runtime.GC()
 		best := time.Duration(1<<62 - 1)
 		var rep traced.FleetReport
+		reg := metrics.NewRegistry()
 		for i := 0; i < reps(); i++ {
-			e, r := runIngestFleet(fleet[:n])
+			e, r := runIngestFleet(fleet[:n], reg)
 			rep = r
 			if e < best {
 				best = e
@@ -125,6 +130,7 @@ func ingestBench(jsonOut bool) {
 			UniqueRaces:  rep.Races.Unique,
 			WallMS:       float64(best.Nanoseconds()) / 1e6,
 			EventsPerSec: perSec,
+			Metrics:      benchMetricsFrom(reg.Snapshot()),
 		}
 		if n == counts[0] && counts[0] == 1 {
 			base = perSec

@@ -37,8 +37,47 @@ import (
 	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/sp"
+	"repro/sp/metrics"
 	"repro/sp/trace"
 )
+
+// benchMetrics is the instrumentation excerpt embedded in every -json
+// benchmark row: backend-internal accounting from the sp/metrics
+// registry the measured monitors record into. Ratios are computed over
+// the registry's whole accumulation (all repetitions of the row), so
+// they are invariant to the repetition count.
+type benchMetrics struct {
+	// DrainsPerEvent is pending-queue drains (one shared insertion-lock
+	// acquisition each) per monitored event — sp-hybrid's amortization
+	// made visible; omitted for backends without a batched global tier.
+	DrainsPerEvent float64 `json:"drainsPerEvent,omitempty"`
+	// MaxShardImbalance is max/mean of per-shard shadow-memory access
+	// counts (1 = perfectly balanced address hashing).
+	MaxShardImbalance float64 `json:"maxShardImbalance,omitempty"`
+	// PendingHighwater is the deepest the pending structural-event
+	// queue grew before a drain.
+	PendingHighwater float64 `json:"pendingHighwater,omitempty"`
+}
+
+// benchMetricsFrom distills a registry snapshot into the row excerpt,
+// returning nil when the snapshot carries none of the fields (e.g. a
+// backend with no instrumented internals).
+func benchMetricsFrom(snap metrics.Snapshot) *benchMetrics {
+	bm := &benchMetrics{}
+	if ev := snap.Sum("sp_monitor_events_total"); ev > 0 {
+		bm.DrainsPerEvent = snap.Sum("sp_om_drains_total") / ev
+	}
+	if v, ok := snap.Value("sp_shadow_shard_imbalance"); ok {
+		bm.MaxShardImbalance = v
+	}
+	if v, ok := snap.Value("sp_om_pending_highwater"); ok {
+		bm.PendingHighwater = v
+	}
+	if *bm == (benchMetrics{}) {
+		return nil
+	}
+	return bm
+}
 
 var (
 	quick          = flag.Bool("quick", false, "smaller workloads, fewer repetitions")
@@ -354,6 +393,9 @@ type traceBenchResult struct {
 	Races        int     `json:"races"`
 	NsPerEvent   float64 `json:"nsPerEvent"`
 	EventsPerSec float64 `json:"eventsPerSec"`
+	// Metrics is the backend-internals excerpt recorded while this row
+	// ran (instrumented build; see benchMetrics).
+	Metrics *benchMetrics `json:"metrics,omitempty"`
 }
 
 // traceBenchDoc is the -json output envelope.
@@ -362,6 +404,7 @@ type traceBenchDoc struct {
 	NumCPU     int                `json:"numcpu"`
 	Quick      bool               `json:"quick"`
 	Threads    int                `json:"workloadThreads"`
+	Note       string             `json:"note"`
 	Results    []traceBenchResult `json:"results"`
 }
 
@@ -386,6 +429,9 @@ func traceBench(jsonOut bool) {
 		NumCPU:     runtime.NumCPU(),
 		Quick:      *quick,
 		Threads:    n,
+		Note: "instrumented build: monitors record into an sp/metrics registry while measured, and " +
+			"each row's metrics object excerpts backend internals (drains per event, shadow-shard " +
+			"imbalance, pending-queue high-water)",
 	}
 	if !jsonOut {
 		fmt.Println("=== Trace-driven backend benchmark (recorded event streams) ===")
@@ -406,9 +452,10 @@ func traceBench(jsonOut bool) {
 		}
 		for _, b := range backends {
 			var rep sp.Report
+			reg := metrics.NewRegistry()
 			el := timeIt(reps(), func() {
 				var err error
-				rep, err = trace.ReplayBackend(data, b)
+				rep, err = trace.ReplayBackend(data, b, sp.WithMetrics(reg))
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "replaying %s through %s: %v\n", sc.Name, b, err)
 					os.Exit(1)
@@ -425,6 +472,7 @@ func traceBench(jsonOut bool) {
 				Races:        len(rep.Races),
 				NsPerEvent:   nsPerEvent,
 				EventsPerSec: 1e9 / nsPerEvent,
+				Metrics:      benchMetricsFrom(reg.Snapshot()),
 			}
 			doc.Results = append(doc.Results, r)
 			if !jsonOut {
@@ -459,6 +507,9 @@ type concurrentBenchResult struct {
 	NsPerAccess    float64 `json:"nsPerAccess"`
 	AccessesPerSec float64 `json:"accessesPerSec"`
 	SpeedupVs1     float64 `json:"speedupVs1"`
+	// Metrics is the backend-internals excerpt recorded while this row
+	// ran (instrumented build; see benchMetrics).
+	Metrics *benchMetrics `json:"metrics,omitempty"`
 }
 
 // concurrentBenchDoc is the -table concurrent -json output envelope.
@@ -498,8 +549,8 @@ const concurrentSharedLocs = 64
 // live monitor, lets each perform perG reads/writes through its cached
 // sp.Thread handle, and returns the wall time of the access phase
 // (forks, joins, and Report excluded) plus the run's race count.
-func runConcurrentWorkload(backend string, writeEvery, g, perG int) (time.Duration, int) {
-	m := sp.MustMonitor(sp.WithBackend(backend), sp.WithWorkers(g))
+func runConcurrentWorkload(backend string, writeEvery, g, perG int, reg *metrics.Registry) (time.Duration, int) {
+	m := sp.MustMonitor(sp.WithBackend(backend), sp.WithWorkers(g), sp.WithMetrics(reg))
 	cur := m.Thread(m.Main())
 	for a := uint64(0); a < concurrentSharedLocs; a++ {
 		cur.Write(a) // main precedes every worker: reads below are race-free
@@ -546,8 +597,8 @@ func runConcurrentWorkload(backend string, writeEvery, g, perG int) (time.Durati
 // global-tier insertion for sp-hybrid, label derivation for depa).
 // The returned duration covers the fork/join phase; the race count
 // comes from the shared-cell writes.
-func runForkHeavyWorkload(backend string, g, iters int) (time.Duration, int) {
-	m := sp.MustMonitor(sp.WithBackend(backend), sp.WithWorkers(g))
+func runForkHeavyWorkload(backend string, g, iters int, reg *metrics.Registry) (time.Duration, int) {
+	m := sp.MustMonitor(sp.WithBackend(backend), sp.WithWorkers(g), sp.WithMetrics(reg))
 	cur := m.Thread(m.Main())
 	workers := make([]sp.Thread, g)
 	for i := range workers {
@@ -628,7 +679,8 @@ func concurrentBench(jsonOut bool) {
 			"of the same (workload, backend) pair (0 when the run list has no preceding 1-goroutine " +
 			"baseline); forkheavy rows count monitored events (one fork, one write, one join per " +
 			"iteration) in the accesses column; on single-CPU hosts this measures oversubscription " +
-			"overhead, not parallel speedup",
+			"overhead, not parallel speedup; instrumented build: monitors record into an sp/metrics " +
+			"registry while measured, and each row's metrics object excerpts backend internals",
 	}
 	if !jsonOut {
 		fmt.Println("=== Concurrent monitor scaling (lock-free access + structural fast paths) ===")
@@ -651,13 +703,14 @@ func concurrentBench(jsonOut bool) {
 				runtime.GC()
 				best := time.Duration(1<<62 - 1)
 				var races int
+				reg := metrics.NewRegistry()
 				for i := 0; i < reps(); i++ {
 					var e time.Duration
 					var r int
 					if w.forkHeavy {
-						e, r = runForkHeavyWorkload(b, g, iters)
+						e, r = runForkHeavyWorkload(b, g, iters, reg)
 					} else {
-						e, r = runConcurrentWorkload(b, w.writeEvery, g, iters)
+						e, r = runConcurrentWorkload(b, w.writeEvery, g, iters, reg)
 					}
 					races = r
 					if e < best {
@@ -678,6 +731,7 @@ func concurrentBench(jsonOut bool) {
 					Races:          races,
 					NsPerAccess:    nsPer,
 					AccessesPerSec: perSec,
+					Metrics:        benchMetricsFrom(reg.Snapshot()),
 				}
 				if g == 1 {
 					base = perSec

@@ -5,10 +5,10 @@
 //
 // Usage:
 //
-//	sptraced [-listen addr] [-unix path] [-http addr] [-backend name]
-//	         [-workers n] [-max-streams n] [-max-events n] [-max-bytes n]
-//	         [-max-site n] [-read-timeout d] [-drain-timeout d]
-//	         [-final-report path] [trace-file ...]
+//	sptraced [-listen addr] [-unix path] [-http addr] [-debug-addr addr]
+//	         [-backend name] [-workers n] [-max-streams n] [-max-events n]
+//	         [-max-bytes n] [-max-site n] [-read-timeout d]
+//	         [-drain-timeout d] [-final-report path] [trace-file ...]
 //
 // Trace-file arguments are batch-ingested at startup, as if each had
 // been streamed by a client. With listeners disabled (-listen ""
@@ -21,6 +21,12 @@
 // Clients stream traces with `sptrace send`; humans read
 // http://<addr>/report, Prometheus scrapes /metrics, and orchestrators
 // probe /healthz (503 while draining).
+//
+// -debug-addr starts a second, operator-only HTTP listener carrying the
+// Go diagnostic surface — net/http/pprof under /debug/pprof/ (CPU and
+// heap profiles, goroutine dumps, the execution tracer, whose output
+// includes the per-stream "traced.ingest" regions) — plus the same
+// /metrics exposition, so profiling stays off the scrapeable port.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready f
 	listen := fs.String("listen", "127.0.0.1:7077", "TCP ingest address (empty disables)")
 	unixPath := fs.String("unix", "", "unix-socket ingest path (empty disables)")
 	httpAddr := fs.String("http", "127.0.0.1:7078", "HTTP report address (empty disables)")
+	debugAddr := fs.String("debug-addr", "", "debug HTTP address serving /debug/pprof/ and /metrics (empty disables)")
 	backend := fs.String("backend", "sp-order", "SP-maintenance backend for stream monitors")
 	workers := fs.Int("workers", 0, "ingestion worker pool size (0 = NumCPU)")
 	maxStreams := fs.Int("max-streams", 0, "accepted-but-unfinished stream bound (0 = 4x workers)")
@@ -81,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready f
 		return err
 	}
 
-	serveErr := make(chan error, 3)
+	serveErr := make(chan error, 4)
 	var ingestAddr string
 	if *listen != "" {
 		l, err := net.Listen("tcp", *listen)
@@ -116,6 +124,31 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready f
 		}()
 		defer httpLn.Close()
 	}
+	var boundDebug string
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		boundDebug = dl.Addr().String()
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			s.Registry().WritePrometheus(w)
+		})
+		ds := &http.Server{Handler: dmux}
+		go func() {
+			if err := ds.Serve(dl); err != nil && !errors.Is(err, net.ErrClosed) {
+				serveErr <- err
+			}
+		}()
+		defer dl.Close()
+	}
 	fmt.Fprintf(stderr, "sptraced: backend %s, %d workers, max %d streams",
 		s.Config().Backend, s.Config().Workers, s.Config().MaxStreams)
 	if ingestAddr != "" {
@@ -126,6 +159,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready f
 	}
 	if boundHTTP != "" {
 		fmt.Fprintf(stderr, ", http %s", boundHTTP)
+	}
+	if boundDebug != "" {
+		fmt.Fprintf(stderr, ", debug %s", boundDebug)
 	}
 	fmt.Fprintln(stderr)
 	if ready != nil {
@@ -145,7 +181,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready f
 			path, sum.State, sum.Events, sum.Races)
 	}
 
-	serving := *listen != "" || *unixPath != "" || *httpAddr != ""
+	serving := *listen != "" || *unixPath != "" || *httpAddr != "" || *debugAddr != ""
 	if serving {
 		select {
 		case sig := <-sigs:

@@ -91,12 +91,24 @@ func Join(left, right *Label) *Label {
 // u is before v in the English and in the Hebrew order. u and v must be
 // distinct thread labels from one computation.
 func relate(u, v *Label) (eng, heb bool) {
+	eng, heb, _ = Relate(u, v)
+	return eng, heb
+}
+
+// Relate is relate with the walk length exposed: steps counts the
+// parent-link hops taken to reach the divergence component — the O(d)
+// a query actually paid, which instrumented monitors aggregate into a
+// walk-length distribution. u and v must be distinct thread labels
+// from one computation.
+func Relate(u, v *Label) (eng, heb bool, steps int) {
 	a, b := u, v
 	for a.depth > b.depth {
 		a = a.up
+		steps++
 	}
 	for b.depth > a.depth {
 		b = b.up
+		steps++
 	}
 	if a == b {
 		// One path is a strict prefix of the other. Impossible between
@@ -107,16 +119,17 @@ func relate(u, v *Label) (eng, heb bool) {
 	}
 	for a.up != b.up {
 		a, b = a.up, b.up
+		steps++
 	}
 	switch {
 	case a.tag != b.tag:
 		// Opposite branches of one fork: parallel. English spawns first.
 		eng = a.tag < b.tag
-		return eng, !eng
+		return eng, !eng, steps
 	case a.seq != b.seq:
 		// Same branch, different epochs: serial, both orders agree.
 		eng = a.seq < b.seq
-		return eng, eng
+		return eng, eng, steps
 	default:
 		panic("depa: distinct labels with identical divergence component")
 	}

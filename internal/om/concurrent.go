@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"repro/sp/metrics"
 )
 
 // concUniverseBits is the label-universe size for the concurrent list.
@@ -48,6 +50,16 @@ type Concurrent struct {
 	QueryRetries atomic.Int64
 	Relabels     atomic.Int64
 	Rebalances   atomic.Int64
+
+	// MQueryRetries, MRelabels, and MRebalances optionally mirror the
+	// counters above into an external metrics registry. They are nil by
+	// default (the *metrics.Counter methods are nil-safe no-ops); an
+	// instrumented owner points them at shared registry counters so the
+	// list's amortization shows up in live exposition, not just in
+	// end-of-run atomics.
+	MQueryRetries *metrics.Counter
+	MRelabels     *metrics.Counter
+	MRebalances   *metrics.Counter
 }
 
 // NewConcurrent returns an empty concurrent order-maintenance list with
@@ -202,6 +214,7 @@ func (c *Concurrent) insertAfterLocked(x *CItem) *CItem {
 // protocol. Caller holds c.mu.
 func (c *Concurrent) rebalanceLocked(x *CItem) {
 	c.Rebalances.Add(1)
+	c.MRebalances.Add(1)
 	// Pass 1: determine the range. Grow power-of-two aligned label
 	// ranges around x until the density drops below the threshold
 	// (T/2)^i, as in the serial top level.
@@ -255,6 +268,7 @@ func (c *Concurrent) relabelRange(first, last *CItem, count int, lo, gap uint64)
 	for it := first; ; it = it.next {
 		it.label.Store(lo + j)
 		c.Relabels.Add(1)
+		c.MRelabels.Add(1)
 		j++
 		if it == last {
 			break
@@ -299,6 +313,7 @@ func (c *Concurrent) Precedes(x, y *CItem) bool {
 			return lx1 < ly1
 		}
 		c.QueryRetries.Add(1)
+		c.MQueryRetries.Add(1)
 	}
 }
 

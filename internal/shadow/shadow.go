@@ -235,9 +235,10 @@ func OnAccessOrdered[A comparable](c *Cell[A], rel OrderedRelative[A], cur A, si
 type Shard[A comparable] struct {
 	mu    sync.Mutex
 	cells map[uint64]*Cell[A]
+	hits  int64
 	// Pad each shard to a cache line so the shard locks of a hot Memory
-	// do not false-share (mutex 8B + map header 8B + 48B pad = 64B).
-	_ [48]byte
+	// do not false-share (mutex 8B + map header 8B + hits 8B + 40B pad).
+	_ [40]byte
 }
 
 // Lock acquires the shard's mutex.
@@ -245,6 +246,12 @@ func (s *Shard[A]) Lock() { s.mu.Lock() }
 
 // Unlock releases the shard's mutex.
 func (s *Shard[A]) Unlock() { s.mu.Unlock() }
+
+// Hit records one access against the shard's load accounting. The
+// caller must hold the shard's lock (Memory's own access paths call it
+// internally; external lockers like the monitor's fast path call it
+// between Lock and Unlock), so the increment needs no atomics.
+func (s *Shard[A]) Hit() { s.hits++ }
 
 // Cell returns (creating if needed) the shadow slot for addr, which
 // must hash to this shard. The caller must hold the shard's lock.
@@ -302,6 +309,7 @@ func (m *Memory[A]) ShardOf(addr uint64) *Shard[A] { return &m.shards[m.ShardInd
 func (m *Memory[A]) Access(addr uint64, rel Relative[A], cur A, site any, write bool, queries *int64) *Found[A] {
 	s := m.ShardOf(addr)
 	s.mu.Lock()
+	s.hits++
 	found := OnAccess(s.Cell(addr), rel, cur, site, write, queries)
 	s.mu.Unlock()
 	return found
@@ -313,9 +321,24 @@ func (m *Memory[A]) Access(addr uint64, rel Relative[A], cur A, site any, write 
 func (m *Memory[A]) AccessOrdered(addr uint64, rel OrderedRelative[A], cur A, site any, write bool, queries *int64) *Found[A] {
 	s := m.ShardOf(addr)
 	s.mu.Lock()
+	s.hits++
 	found := OnAccessOrdered(s.Cell(addr), rel, cur, site, write, queries)
 	s.mu.Unlock()
 	return found
+}
+
+// ShardHits returns the per-shard access counts (taking each shard's
+// lock in turn), the raw data behind shard-imbalance reporting: a
+// well-mixed address distribution keeps max/mean near 1.
+func (m *Memory[A]) ShardHits() []int64 {
+	out := make([]int64, len(m.shards))
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		out[i] = s.hits
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // mix is the splitmix64 finalizer: an invertible bit mixer that spreads

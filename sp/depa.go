@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ctab"
 	"repro/internal/depa"
+	"repro/sp/metrics"
 )
 
 // This file adapts DePa-style fork-path order maintenance
@@ -30,9 +31,31 @@ import (
 // depaM is the DePa backend: one immutable label per thread.
 type depaM struct {
 	labels ctab.Table[depa.Label]
+
+	// mxDepth and mxWalk are registry mirrors of the backend's two cost
+	// drivers — fork-nesting depth of created labels and per-query
+	// divergence-walk length (the O(d) actually paid). Nil (no-op)
+	// unless the owning Monitor was built WithMetrics.
+	mxDepth *metrics.Histogram
+	mxWalk  *metrics.Histogram
 }
 
 func newDepa() Maintainer { return &depaM{} }
+
+// instrument points the backend's distributions at shared registry
+// histograms.
+func (d *depaM) instrument(reg *metrics.Registry) {
+	d.mxDepth = reg.Histogram("sp_depa_label_depth", "fork-nesting depth of created thread labels")
+	d.mxWalk = reg.Histogram("sp_depa_walk_steps", "parent-link hops walked to answer one SP query")
+}
+
+// relate answers both orders for distinct labels, feeding the walk
+// length into the instrumentation.
+func (d *depaM) relate(u, v *depa.Label) (eng, heb bool) {
+	eng, heb, steps := depa.Relate(u, v)
+	d.mxWalk.Observe(int64(steps))
+	return eng, heb
+}
 
 // label returns t's fork path, panicking on unknown threads. Lock-free.
 func (d *depaM) label(t ThreadID) *depa.Label {
@@ -51,15 +74,32 @@ func (d *depaM) Fork(parent, left, right ThreadID) {
 	l, r := depa.Fork(d.label(parent))
 	d.labels.Put(int64(left), l)
 	d.labels.Put(int64(right), r)
+	d.mxDepth.Observe(int64(l.Depth()))
 }
 
 func (d *depaM) Join(left, right, cont ThreadID) {
-	d.labels.Put(int64(cont), depa.Join(d.label(left), d.label(right)))
+	lab := depa.Join(d.label(left), d.label(right))
+	d.labels.Put(int64(cont), lab)
+	d.mxDepth.Observe(int64(lab.Depth()))
 }
 
-func (d *depaM) Precedes(a, b ThreadID) bool { return depa.Precedes(d.label(a), d.label(b)) }
+func (d *depaM) Precedes(a, b ThreadID) bool {
+	u, v := d.label(a), d.label(b)
+	if u == v {
+		return false
+	}
+	eng, heb := d.relate(u, v)
+	return eng && heb
+}
 
-func (d *depaM) Parallel(a, b ThreadID) bool { return depa.Parallel(d.label(a), d.label(b)) }
+func (d *depaM) Parallel(a, b ThreadID) bool {
+	u, v := d.label(a), d.label(b)
+	if u == v {
+		return false
+	}
+	eng, heb := d.relate(u, v)
+	return eng != heb
+}
 
 // depaRel is the cached per-thread query handle: the current thread's
 // label is resolved once at thread creation (labels are immutable, so
@@ -70,19 +110,39 @@ type depaRel struct {
 }
 
 func (r depaRel) PrecedesCurrent(prev ThreadID) bool {
-	return depa.Precedes(r.d.label(prev), r.lab)
+	u := r.d.label(prev)
+	if u == r.lab {
+		return false
+	}
+	eng, heb := r.d.relate(u, r.lab)
+	return eng && heb
 }
 
 func (r depaRel) ParallelCurrent(prev ThreadID) bool {
-	return depa.Parallel(r.d.label(prev), r.lab)
+	u := r.d.label(prev)
+	if u == r.lab {
+		return false
+	}
+	eng, heb := r.d.relate(u, r.lab)
+	return eng != heb
 }
 
 func (r depaRel) EnglishBeforeCurrent(prev ThreadID) bool {
-	return depa.EnglishBefore(r.d.label(prev), r.lab)
+	u := r.d.label(prev)
+	if u == r.lab {
+		return false
+	}
+	eng, _ := r.d.relate(u, r.lab)
+	return eng
 }
 
 func (r depaRel) HebrewBeforeCurrent(prev ThreadID) bool {
-	return depa.HebrewBefore(r.d.label(prev), r.lab)
+	u := r.d.label(prev)
+	if u == r.lab {
+		return false
+	}
+	_, heb := r.d.relate(u, r.lab)
+	return heb
 }
 
 // ThreadRelative implements HandleMaintainer.

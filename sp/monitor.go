@@ -10,6 +10,7 @@ import (
 	"repro/internal/ctab"
 	"repro/internal/shadow"
 	"repro/internal/wire"
+	"repro/sp/metrics"
 )
 
 // AccessKind distinguishes the two accesses of a reported race.
@@ -112,9 +113,9 @@ type raceShard struct {
 	// closed the shard: they are counted in DroppedRaces, excluded from
 	// the stream, and surface only in subsequent Report snapshots.
 	late     []Race
-	streamed int  // races[:streamed] have been claimed by the stream
-	closed   bool // Report has cut this shard off
-	_        [8]byte
+	streamed int   // races[:streamed] have been claimed by the stream
+	emitted  int64 // every emit into this shard, races and late alike
+	closed   bool  // Report has cut this shard off
 }
 
 // threadState is the Monitor's per-thread bookkeeping. States are
@@ -143,6 +144,7 @@ type config struct {
 	raceDetect bool
 	lockAware  bool
 	traceW     io.Writer
+	reg        *metrics.Registry
 }
 
 // Option configures a Monitor.
@@ -235,6 +237,11 @@ type Monitor struct {
 	forks      atomic.Int64
 	joins      atomic.Int64
 	finished   atomic.Bool
+
+	// mx is the WithMetrics instrument set; nil on uninstrumented
+	// monitors, whose hot paths then pay one predictable branch per
+	// metrics block.
+	mx *monitorMetrics
 }
 
 // NewMonitor creates a Monitor with the given options and registers the
@@ -264,6 +271,15 @@ func NewMonitor(opts ...Option) (*Monitor, error) {
 		m.lockShards = make([]lockShard, m.mem.NumShards())
 		for i := range m.lockShards {
 			m.lockShards[i].entries = map[uint64][]lockEntry{}
+		}
+	}
+	if cfg.reg != nil {
+		m.mx = newMonitorMetrics(cfg.reg, m.mem.NumShards())
+		if ib, ok := backend.(instrumentable); ok {
+			ib.instrument(cfg.reg)
+		}
+		if cfg.traceW != nil {
+			cfg.traceW = countingWriter{cfg.traceW, m.mx.traceBytes}
 		}
 	}
 	m.handles, _ = backend.(HandleMaintainer)
@@ -314,6 +330,9 @@ func (m *Monitor) Main() ThreadID { return m.main }
 func (m *Monitor) newThread() ThreadID {
 	id := ThreadID(m.nthreads.Add(1) - 1)
 	m.threads.Put(int64(id), &threadState{})
+	if mx := m.mx; mx != nil {
+		mx.threads.Add(1)
+	}
 	return id
 }
 
@@ -362,6 +381,9 @@ func (m *Monitor) begin(t ThreadID, st *threadState) {
 		m.backend.Begin(t)
 		if m.trace != nil {
 			m.trace.Begin(int64(t))
+		}
+		if mx := m.mx; mx != nil {
+			mx.evBegin.Add(1)
 		}
 	}
 }
@@ -429,6 +451,9 @@ func (m *Monitor) Fork(parent ThreadID) (left, right ThreadID) {
 		st.retired.Store(true)
 		st.held = nil
 		m.forks.Add(1)
+		if mx := m.mx; mx != nil {
+			mx.evFork.Add(1)
+		}
 		return left, right
 	}
 	m.mu.Lock()
@@ -448,6 +473,9 @@ func (m *Monitor) Fork(parent ThreadID) (left, right ThreadID) {
 	st.retired.Store(true)
 	st.held = nil
 	m.forks.Add(1)
+	if mx := m.mx; mx != nil {
+		mx.evFork.Add(1)
+	}
 	return left, right
 }
 
@@ -469,6 +497,9 @@ func (m *Monitor) Join(left, right ThreadID) (cont ThreadID) {
 		rst.retired.Store(true)
 		lst.held, rst.held = nil, nil
 		m.joins.Add(1)
+		if mx := m.mx; mx != nil {
+			mx.evJoin.Add(1)
+		}
 		return cont
 	}
 	m.mu.Lock()
@@ -486,6 +517,9 @@ func (m *Monitor) Join(left, right ThreadID) (cont ThreadID) {
 	rst.retired.Store(true)
 	lst.held, rst.held = nil, nil
 	m.joins.Add(1)
+	if mx := m.mx; mx != nil {
+		mx.evJoin.Add(1)
+	}
 	return cont
 }
 
@@ -518,6 +552,9 @@ func (m *Monitor) Acquire(t ThreadID, lock int) {
 			st.held = map[int]int{}
 		}
 		st.held[lock]++
+		if mx := m.mx; mx != nil {
+			mx.evAcquire.Add(1)
+		}
 		return
 	}
 	m.mu.Lock()
@@ -532,6 +569,9 @@ func (m *Monitor) Acquire(t ThreadID, lock int) {
 		st.held = map[int]int{}
 	}
 	st.held[lock]++
+	if mx := m.mx; mx != nil {
+		mx.evAcquire.Add(1)
+	}
 }
 
 // Release records that thread t unlocked mutex lock. It panics if t does
@@ -546,6 +586,9 @@ func (m *Monitor) Release(t ThreadID, lock int) {
 			panic(fmt.Sprintf("sp: release of unheld mutex m%d by thread t%d", lock, t))
 		}
 		st.held[lock]--
+		if mx := m.mx; mx != nil {
+			mx.evRelease.Add(1)
+		}
 		return
 	}
 	m.mu.Lock()
@@ -560,6 +603,9 @@ func (m *Monitor) Release(t ThreadID, lock int) {
 		m.trace.Release(int64(t), int64(lock))
 	}
 	st.held[lock]--
+	if mx := m.mx; mx != nil {
+		mx.evRelease.Add(1)
+	}
 }
 
 // orderQuerier is the optional backend capability behind exact
@@ -642,6 +688,13 @@ func (m *Monitor) access(t ThreadID, st *threadState, addr uint64, write bool, s
 		}
 	}
 	st.accesses.Add(1)
+	if mx := m.mx; mx != nil {
+		idx := -1
+		if m.raceDetect {
+			idx = m.mem.ShardIndex(addr) // both protocols co-shard by this index
+		}
+		mx.countAccess(false, write, idx)
+	}
 	if !m.raceDetect {
 		return
 	}
@@ -656,6 +709,9 @@ func (m *Monitor) access(t ThreadID, st *threadState, addr uint64, write bool, s
 	}
 	found := m.mem.AccessOrdered(addr, rel, t, site, write, &q)
 	st.queries.Add(q)
+	if mx := m.mx; mx != nil {
+		mx.queries.Add(q)
+	}
 	if found != nil {
 		m.emit(Race{
 			Addr: addr, Kind: found.Kind,
@@ -682,8 +738,12 @@ func (m *Monitor) fastPath(t ThreadID, st *threadState, addr uint64, write bool,
 	}
 	st.accesses.Add(1)
 	idx := m.mem.ShardIndex(addr)
+	if mx := m.mx; mx != nil {
+		mx.countAccess(true, write, idx)
+	}
 	sh := m.mem.Shard(idx)
 	sh.Lock()
+	sh.Hit()
 	if m.traceShards != nil {
 		if site != nil {
 			m.traceShards[idx].Access(int64(t), addr, write, true, fmt.Sprint(site))
@@ -700,6 +760,9 @@ func (m *Monitor) fastPath(t ThreadID, st *threadState, addr uint64, write bool,
 	found := shadow.OnAccessOrdered(sh.Cell(addr), st.rel, t, site, write, &q)
 	sh.Unlock()
 	st.queries.Add(q)
+	if mx := m.mx; mx != nil {
+		mx.queries.Add(q)
+	}
 	if found != nil {
 		m.emit(Race{
 			Addr: addr, Kind: found.Kind,
@@ -750,6 +813,9 @@ func (m *Monitor) lockAwareAccess(t ThreadID, st *threadState, addr uint64, writ
 		})
 	}
 	st.queries.Add(q)
+	if mx := m.mx; mx != nil {
+		mx.queries.Add(q)
+	}
 	dup := false
 	for _, e := range sh.entries[addr] {
 		if e.t == t && e.write == write && e.locks.Equal(cur) {
@@ -772,15 +838,25 @@ func (m *Monitor) lockAwareAccess(t ThreadID, st *threadState, addr uint64, writ
 // closed the shard — an access still in flight on a fast-path backend —
 // lands in the shard's late list and counts as dropped.
 func (m *Monitor) emit(r Race) {
-	sh := &m.raceShards[m.mem.ShardIndex(r.Addr)]
+	idx := m.mem.ShardIndex(r.Addr)
+	sh := &m.raceShards[idx]
 	sh.mu.Lock()
+	sh.emitted++ // single source: every emit, races and late alike
 	if sh.closed {
 		sh.late = append(sh.late, r)
 		sh.mu.Unlock()
-		m.dropped.Add(1)
+		if mx := m.mx; mx != nil {
+			mx.racesEmitted.Add(1)
+			mx.racesDropped.Add(1)
+			mx.raceShardEmits[idx].Add(1)
+		}
 		return
 	}
 	sh.races = append(sh.races, r)
+	if mx := m.mx; mx != nil {
+		mx.racesEmitted.Add(1)
+		mx.raceShardEmits[idx].Add(1)
+	}
 	if !m.requested.Load() {
 		sh.mu.Unlock()
 		return
@@ -934,13 +1010,19 @@ func (m *Monitor) Report() Report {
 	// first) or in the late list (counted as dropped). Closing all
 	// shards before touching the stream state means no new race can be
 	// claimed for the stream once streamClosed is set.
+	// DroppedRaces is derived from the same per-shard snapshot as the
+	// race list itself (late entries are exactly the post-close emits),
+	// plus the deliver backstop — one layer, so the count can never
+	// disagree with the races actually reported.
 	var races []Race
+	dropped := m.dropped.Load()
 	for i := range m.raceShards {
 		sh := &m.raceShards[i]
 		sh.mu.Lock()
 		sh.closed = true
 		races = append(races, sh.races...)
 		races = append(races, sh.late...)
+		dropped += int64(len(sh.late))
 		sh.mu.Unlock()
 	}
 	// With a backlog pending the close is deferred to the pump; with no
@@ -979,6 +1061,21 @@ func (m *Monitor) Report() Report {
 		Joins:        m.joins.Load(),
 		Accesses:     accesses,
 		Queries:      queries,
-		DroppedRaces: m.dropped.Load(),
+		DroppedRaces: dropped,
 	}
+}
+
+// raceShardEmits snapshots the per-shard emit counters — one increment
+// per emit, races and late alike, under the owning shard's lock. The
+// reconciliation invariant (pinned by a regression test): their sum
+// always equals len(Report().Races).
+func (m *Monitor) raceShardEmits() []int64 {
+	out := make([]int64, len(m.raceShards))
+	for i := range m.raceShards {
+		sh := &m.raceShards[i]
+		sh.mu.Lock()
+		out[i] = sh.emitted
+		sh.mu.Unlock()
+	}
+	return out
 }

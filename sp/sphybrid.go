@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ctab"
 	"repro/internal/om"
+	"repro/sp/metrics"
 )
 
 // This file adapts SP-hybrid (Sections 3–7) to the event API as the
@@ -87,6 +88,29 @@ type hybrid struct {
 	// materialized; drains ≪ batched is the amortization made visible.
 	drains  atomic.Uint64
 	batched atomic.Uint64
+
+	// Registry mirrors of the amortization accounting, nil (no-op)
+	// unless the owning Monitor was built WithMetrics.
+	mxDrains    *metrics.Counter
+	mxBatched   *metrics.Counter
+	mxBatchSize *metrics.Histogram
+	mxPendingHW *metrics.Gauge
+}
+
+// instrument points the backend's accounting at shared registry
+// instruments: the drain/batch amortization, the pending-queue depth
+// high-water, and the OM lists' rebalance/relabel/retry counters
+// (mirrored from inside internal/om).
+func (h *hybrid) instrument(reg *metrics.Registry) {
+	h.mxDrains = reg.Counter("sp_om_drains_total", "pending-queue drains (one shared-lock acquisition each)")
+	h.mxBatched = reg.Counter("sp_om_batched_events_total", "structural events materialized by drains")
+	h.mxBatchSize = reg.Histogram("sp_om_batch_size", "structural events materialized per drain")
+	h.mxPendingHW = reg.Gauge("sp_om_pending_highwater", "deepest the pending structural-event queue has grown")
+	for _, l := range []*om.Concurrent{h.eng, h.heb} {
+		l.MQueryRetries = reg.Counter("sp_om_query_retries_total", "lock-free OM queries that had to retry after a concurrent rebalance")
+		l.MRelabels = reg.Counter("sp_om_relabels_total", "OM items relabeled by rebalances")
+		l.MRebalances = reg.Counter("sp_om_rebalances_total", "OM label-range rebalances")
+	}
 }
 
 func newHybrid() Maintainer {
@@ -137,6 +161,9 @@ func (h *hybrid) drain() {
 	}
 	h.drains.Add(1)
 	h.batched.Add(uint64(len(batch)))
+	h.mxDrains.Add(1)
+	h.mxBatched.Add(int64(len(batch)))
+	h.mxBatchSize.Observe(int64(len(batch)))
 	for _, ev := range batch {
 		if ev.fork {
 			p := h.mustItem(ev.a)
@@ -167,6 +194,7 @@ func (h *hybrid) enqueue(ev hybridEvent) {
 	h.pendMu.Lock()
 	h.pending = append(h.pending, ev)
 	full := len(h.pending) >= batchMax
+	h.mxPendingHW.SetMax(float64(len(h.pending)))
 	h.pendMu.Unlock()
 	if full {
 		h.drain()

@@ -59,7 +59,7 @@ func (s *Server) Report() FleetReport {
 	r.UptimeSec = now.Sub(s.start).Seconds()
 	r.Backend = s.cfg.Backend
 	r.Events.Total = s.eventsTotal.Load()
-	r.Events.PerSec = s.rate.Rate(now)
+	r.Events.PerSec = s.rate.ValueAt(now)
 	r.Races.Observed = s.observed.Load()
 	r.Races.Unique = s.dedup.Unique()
 	r.RacesBySite = s.dedup.BySite()
@@ -87,7 +87,9 @@ func (s *Server) Report() FleetReport {
 // HTTPHandler returns the server's HTTP surface:
 //
 //   - /report  — the FleetReport as JSON
-//   - /metrics — the same counters in Prometheus text exposition format
+//   - /metrics — the full metrics registry in Prometheus text exposition
+//     format: the server's own series plus the sp_* families recorded by
+//     every stream monitor sharing the registry
 //   - /healthz — 200 "ok" while serving, 503 "draining" during Shutdown
 func (s *Server) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
@@ -99,7 +101,7 @@ func (s *Server) HTTPHandler() http.Handler {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		writeMetrics(w, s.Report())
+		s.reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		if s.Draining() {
@@ -109,45 +111,4 @@ func (s *Server) HTTPHandler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
-}
-
-// writeMetrics renders r in the Prometheus text exposition format.
-func writeMetrics(w http.ResponseWriter, r FleetReport) {
-	var b []byte
-	metric := func(name, help, typ string, write func()) {
-		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-		write()
-	}
-	val := func(name string, v float64) { b = fmt.Appendf(b, "%s %g\n", name, v) }
-
-	metric("sptraced_streams_total", "Streams accepted since start, by final state.", "counter", func() {
-		b = fmt.Appendf(b, "sptraced_streams_total{state=\"ok\"} %d\n", r.Streams.Completed)
-		b = fmt.Appendf(b, "sptraced_streams_total{state=\"failed\"} %d\n", r.Streams.Failed)
-	})
-	metric("sptraced_streams_active", "Streams currently being ingested.", "gauge", func() {
-		val("sptraced_streams_active", float64(r.Streams.Active))
-	})
-	metric("sptraced_events_total", "Trace events applied across all streams.", "counter", func() {
-		val("sptraced_events_total", float64(r.Events.Total))
-	})
-	metric("sptraced_events_per_second", "Recent fleet-wide ingestion rate.", "gauge", func() {
-		val("sptraced_events_per_second", r.Events.PerSec)
-	})
-	metric("sptraced_races_observed_total", "Race observations before deduplication.", "counter", func() {
-		val("sptraced_races_observed_total", float64(r.Races.Observed))
-	})
-	metric("sptraced_races_unique", "Deduplicated (site pair, kind) race entries.", "gauge", func() {
-		val("sptraced_races_unique", float64(r.Races.Unique))
-	})
-	metric("sptraced_peak_parallelism", "Maximum instantaneous logical parallelism of any stream.", "gauge", func() {
-		val("sptraced_peak_parallelism", float64(r.PeakParallel))
-	})
-	metric("sptraced_draining", "1 while the server is draining.", "gauge", func() {
-		d := 0.0
-		if r.Draining {
-			d = 1
-		}
-		val("sptraced_draining", d)
-	})
-	w.Write(b)
 }

@@ -8,12 +8,14 @@ import (
 	"io"
 	"net"
 	"runtime"
+	rtrace "runtime/trace"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/sp"
+	"repro/sp/metrics"
 	"repro/sp/trace"
 )
 
@@ -48,6 +50,12 @@ type Config struct {
 	// RecentStreams bounds the completed-stream ring kept for reports
 	// (default 64).
 	RecentStreams int
+	// Metrics optionally supplies the registry the server and every
+	// stream monitor record into; nil creates a private one. Either way
+	// the registry backs /metrics and Registry(), and instruments are
+	// shared fleet-wide (per-stream monitors aggregate into the same
+	// series and hold no per-stream registry state after they finish).
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -89,8 +97,11 @@ type StreamSummary struct {
 	State string `json:"state"` // "active", "ok", or "failed"
 	Error string `json:"error,omitempty"`
 	// Events counts applied events; Bytes counts consumed trace bytes.
-	Events int64 `json:"events"`
-	Bytes  int64 `json:"bytes"`
+	// EventsPerSec is the stream's whole-life ingestion rate, computed
+	// at finish (0 while active or for empty streams).
+	Events       int64   `json:"events"`
+	Bytes        int64   `json:"bytes"`
+	EventsPerSec float64 `json:"eventsPerSec,omitempty"`
 	// Threads and PeakParallel summarize the stream's execution.
 	Threads      int64 `json:"threads"`
 	PeakParallel int64 `json:"peakParallel"`
@@ -135,11 +146,14 @@ func (st *stream) summary(state string, err error) StreamSummary {
 type Server struct {
 	cfg   Config
 	dedup *dedup
-	rate  meter
+	reg   *metrics.Registry
+	mx    serverMetrics
+	rate  *metrics.Rate
 	start time.Time
 
 	eventsTotal atomic.Int64
 	observed    atomic.Int64 // race observations fleet-wide
+	busy        atomic.Int64 // workers currently ingesting a stream
 
 	mu        sync.Mutex
 	nextID    uint64
@@ -180,6 +194,11 @@ func New(cfg Config) (*Server, error) {
 		sem:     make(chan struct{}, cfg.MaxStreams),
 		drainCh: make(chan struct{}),
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s.instrument(reg)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -209,9 +228,18 @@ func (s *Server) Serve(l net.Listener) error {
 	defer s.acceptWG.Done()
 	for {
 		select {
-		case s.sem <- struct{}{}: // backpressure: wait for a stream slot
-		case <-s.drainCh: // a full fleet must not stall the drain
-			return nil
+		case s.sem <- struct{}{}: // a stream slot is free
+		default:
+			// Backpressure: the fleet is at MaxStreams. Count and time
+			// the stall — sustained accept waits are the capacity signal.
+			s.mx.acceptWaits.Add(1)
+			waitStart := time.Now()
+			select {
+			case s.sem <- struct{}{}:
+				s.mx.acceptWaitNs.Observe(time.Since(waitStart).Nanoseconds())
+			case <-s.drainCh: // a full fleet must not stall the drain
+				return nil
+			}
 		}
 		c, err := l.Accept()
 		if err != nil {
@@ -238,7 +266,11 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for c := range s.jobs {
+		n := s.busy.Add(1)
+		s.mx.workersBusy.Set(float64(n))
+		s.mx.workersBusyHW.SetMax(float64(n))
 		s.serveConn(c)
+		s.mx.workersBusy.Set(float64(s.busy.Add(-1)))
 		<-s.sem
 	}
 }
@@ -353,6 +385,16 @@ func (s *Server) finishStream(st *stream, err error) StreamSummary {
 	}
 	sum := st.summary(state, err)
 	sum.FinishedAt = time.Now()
+	if dur := sum.FinishedAt.Sub(sum.StartedAt); dur > 0 && sum.Events > 0 {
+		sum.EventsPerSec = float64(sum.Events) / dur.Seconds()
+		s.mx.streamNsPerEvent.Observe(dur.Nanoseconds() / sum.Events)
+	}
+	s.mx.streamEvents.Observe(sum.Events)
+	if err != nil {
+		s.mx.streamsFailed.Add(1)
+	} else {
+		s.mx.streamsOK.Add(1)
+	}
 	s.mu.Lock()
 	delete(s.active, st.id)
 	if err != nil {
@@ -395,6 +437,10 @@ func (s *Server) IngestTrace(name string, r io.Reader) StreamSummary {
 const ingestFlush = 1 << 12
 
 func (s *Server) ingest(st *stream, r io.Reader) error {
+	// The region brackets one stream's whole ingestion in the runtime
+	// execution tracer (curl /debug/pprof/trace on the debug listener),
+	// so scheduler-level stalls are attributable to streams.
+	defer rtrace.StartRegion(context.Background(), "traced.ingest").End()
 	lim := io.LimitReader(r, s.cfg.MaxBytes+1)
 	counted := &countingReader{r: lim}
 	rd, err := trace.NewReader(counted)
@@ -403,7 +449,7 @@ func (s *Server) ingest(st *stream, r io.Reader) error {
 		return err
 	}
 	rd.SetMaxSite(s.cfg.MaxSiteLen)
-	m, err := sp.NewMonitor(sp.WithBackend(s.cfg.Backend), sp.WithWorkers(2))
+	m, err := sp.NewMonitor(sp.WithBackend(s.cfg.Backend), sp.WithWorkers(2), sp.WithMetrics(s.reg))
 	if err != nil {
 		return err
 	}
@@ -417,18 +463,24 @@ func (s *Server) ingest(st *stream, r io.Reader) error {
 		for race := range m.Races() {
 			s.dedup.Observe(st.id, st.name, race, time.Now())
 			s.observed.Add(1)
+			s.mx.racesObserved.Add(1)
 			st.races.Add(1)
 		}
 	}()
 	a := trace.NewApplier(m)
-	var pending int64
+	var pending, flushedBytes int64
 	flush := func() {
 		if pending > 0 {
 			s.eventsTotal.Add(pending)
+			s.mx.events.Add(pending)
 			st.events.Add(pending)
-			s.rate.Add(time.Now(), pending)
+			s.rate.Add(pending)
 			st.bytes.Store(counted.n)
 			pending = 0
+		}
+		if d := counted.n - flushedBytes; d > 0 {
+			s.mx.bytes.Add(d)
+			flushedBytes = counted.n
 		}
 	}
 	var ingestErr error
