@@ -1,0 +1,154 @@
+// Command spinstrument rewrites real Go programs onto the sp/spsync
+// monitoring surface and differentially validates the pipeline against
+// the Go race detector.
+//
+//	spinstrument rewrite -out DIR [-shared a,b] [-root PATH] PKGDIR
+//	    Instrument every package under PKGDIR into the shadow module at
+//	    DIR. The shadow builds with plain `go build`; at run time the
+//	    SPSYNC_* environment selects the backend, report path, trace
+//	    recording, and serial elision (see package repro/sp/spsync).
+//
+//	spinstrument selftest [-corpus DIR] [-backend NAME] [-run NAME]
+//	    Run the committed corpus both instrumented-under-sp and under
+//	    `go run -race`, and require every verdict to match the
+//	    program's committed expectation. Exits 1 on any disagreement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/instrument"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "rewrite":
+		cmdRewrite(os.Args[2:])
+	case "selftest":
+		cmdSelftest(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "spinstrument: unknown command %q\n\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  spinstrument rewrite -out DIR [-shared a,b] [-root PATH] PKGDIR
+  spinstrument selftest [-corpus DIR] [-backend NAME] [-run NAME]
+`)
+	os.Exit(2)
+}
+
+func cmdRewrite(args []string) {
+	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
+	out := fs.String("out", "", "shadow output directory (required)")
+	shared := fs.String("shared", "", "comma-separated extra variable names to treat as shared")
+	root := fs.String("root", "", "path to the repro checkout (default: auto-detect)")
+	module := fs.String("module", "", "override the shadow module path")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "spinstrument rewrite: need -out DIR and exactly one package directory")
+		os.Exit(2)
+	}
+	var allow []string
+	if *shared != "" {
+		allow = strings.Split(*shared, ",")
+	}
+	res, err := instrument.Instrument(instrument.Config{
+		Dir:      fs.Arg(0),
+		Out:      *out,
+		Allow:    allow,
+		RepoRoot: *root,
+		Module:   *module,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spinstrument:", err)
+		os.Exit(1)
+	}
+	for _, f := range res.Files {
+		if !f.Changed {
+			fmt.Printf("%-40s unchanged (copied verbatim)\n", f.Name)
+			continue
+		}
+		extra := ""
+		if f.MainHook {
+			extra = " +main-hook"
+		}
+		fmt.Printf("%-40s %d reads, %d writes, %d go stmts, %d sync types%s\n",
+			f.Name, f.Reads, f.Writes, f.GoStmts, f.SyncRewrites, extra)
+	}
+	fmt.Printf("shadow module %q at %s (%d/%d files rewritten)\n",
+		res.Module, res.OutDir, res.Changed(), len(res.Files))
+	fmt.Printf("build it with: cd %s && go build .\n", res.OutDir)
+}
+
+func cmdSelftest(args []string) {
+	fs := flag.NewFlagSet("selftest", flag.ExitOnError)
+	corpus := fs.String("corpus", defaultCorpus(), "corpus directory")
+	backend := fs.String("backend", "sp-hybrid", "sp backend for the instrumented runs")
+	run := fs.String("run", "", "run only the named corpus program")
+	fs.Parse(args)
+
+	work, err := os.MkdirTemp("", "spinstrument-selftest-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spinstrument:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(work)
+
+	progs, err := instrument.CorpusPrograms(*corpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spinstrument:", err)
+		os.Exit(1)
+	}
+	failed := 0
+	ran := 0
+	for _, p := range progs {
+		if *run != "" && p != *run {
+			continue
+		}
+		ran++
+		v, err := instrument.SelftestProgram(
+			filepath.Join(*corpus, p), filepath.Join(work, p), *backend, nil)
+		if err != nil {
+			fmt.Printf("%-22s ERROR: %v\n", p, err)
+			failed++
+			continue
+		}
+		status := "ok"
+		if !v.Agree() {
+			status = "DISAGREE"
+			failed++
+		}
+		fmt.Printf("%-22s expect=%-5s sp=%-5v go-race=%-5v accesses=%-4d %s\n",
+			v.Program, v.Expect, v.SPRacy, v.RaceRacy, v.Report.Accesses, status)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "spinstrument: no corpus program matched %q\n", *run)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d/%d corpus programs agree (backend %s)\n", ran-failed, ran, *backend)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// defaultCorpus resolves the committed corpus relative to the repro
+// checkout, so the command works from any directory inside it.
+func defaultCorpus() string {
+	root, err := instrument.FindRepoRoot(".")
+	if err != nil {
+		return "internal/instrument/testdata/corpus"
+	}
+	return filepath.Join(root, "internal", "instrument", "testdata", "corpus")
+}

@@ -1,0 +1,58 @@
+// Command plain is the UNinstrumented twin of examples/livemonitor: the
+// same parallel sum over a slice by recursive halving, written as an
+// ordinary Go program with no sp imports and no announcements — plus
+// the same planted determinacy race, an unsynchronized "operations"
+// counter every leaf bumps.
+//
+// It exists to be fed to cmd/spinstrument: the rewriter must discover
+// every fork, join, and shared access that livemonitor announces by
+// hand, and the instrumented run must re-detect the planted race at the
+// ops++ line (the e2e test in internal/instrument pins this on two
+// concurrent backends). `go run -race ./examples/livemonitor/plain`
+// flags the same counter.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ops is the planted race: every leaf bumps it with no synchronization.
+var ops int
+
+// sum adds data[lo:hi), spawning the left half at every split. Each
+// branch writes its partial result into its own cell of results; the
+// combining read happens after the join, so the cells never race.
+func sum(data []int, lo, hi, cell int, results []int) {
+	if hi-lo <= 2 {
+		total := 0
+		for i := lo; i < hi; i++ {
+			total += data[i]
+		}
+		results[cell] = total
+		ops++ // planted race
+		return
+	}
+	mid := (lo + hi) / 2
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sum(data, lo, mid, 2*cell+1, results)
+	}()
+	sum(data, mid, hi, 2*cell+2, results)
+	wg.Wait()
+	results[cell] = results[2*cell+1] + results[2*cell+2]
+}
+
+func main() {
+	data := make([]int, 32)
+	want := 0
+	for i := range data {
+		data[i] = i
+		want += i
+	}
+	results := make([]int, 4*len(data))
+	sum(data, 0, len(data), 0, results)
+	fmt.Printf("parallel sum = %d (want %d); ops = %d\n", results[0], want, ops)
+}

@@ -1,0 +1,196 @@
+package instrument
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// sharing is the analysis result the rewriter consults: which variables
+// denote shared memory, and how.
+type sharing struct {
+	// direct holds variables whose own cell is shared: package-level
+	// vars, locals captured by a closure, and allowlisted names. An
+	// identifier naming one is itself an instrumentable access, as is
+	// any element/field/deref reached through it.
+	direct map[*types.Var]bool
+	// indirect holds pointer- and slice-typed parameters (including
+	// receivers): the parameter cell is a private copy, but memory
+	// reached THROUGH it (deref, index, field) is shared with the
+	// caller.
+	indirect map[*types.Var]bool
+}
+
+// analyze computes the shared-variable sets for one type-checked
+// package. The heuristic over-approximates: announcing a never-racing
+// access is sound, missing one is a missed race.
+func analyze(info *types.Info, pkg *types.Package, files []*ast.File, allow []string) *sharing {
+	sh := &sharing{direct: map[*types.Var]bool{}, indirect: map[*types.Var]bool{}}
+	allowed := map[string]bool{}
+	for _, name := range allow {
+		allowed[name] = true
+	}
+
+	// Package-level variables.
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if v, ok := scope.Lookup(name).(*types.Var); ok {
+			sh.add(v)
+		}
+	}
+
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// Locals captured by a closure: every variable used
+				// inside the literal but declared outside it.
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					id, ok := m.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					v, ok := info.Uses[id].(*types.Var)
+					if !ok || v.Parent() == scope || v.Parent() == types.Universe {
+						return true // package vars are already in; fields handled via their base
+					}
+					if v.Pos() < n.Pos() || v.Pos() > n.End() {
+						sh.add(v)
+					}
+					return true
+				})
+			case *ast.FuncDecl:
+				// Pointer/slice parameters and receivers: accesses
+				// through them reach caller-visible memory.
+				addIndirect := func(fl *ast.FieldList) {
+					if fl == nil {
+						return
+					}
+					for _, field := range fl.List {
+						for _, name := range field.Names {
+							v, ok := info.Defs[name].(*types.Var)
+							if !ok {
+								continue
+							}
+							switch v.Type().Underlying().(type) {
+							case *types.Pointer, *types.Slice:
+								sh.addIndirect(v)
+							}
+						}
+					}
+				}
+				addIndirect(n.Recv)
+				if n.Type.Params != nil {
+					addIndirect(n.Type.Params)
+				}
+			case *ast.Ident:
+				if allowed[n.Name] {
+					if v, ok := info.Defs[n].(*types.Var); ok {
+						sh.add(v)
+					}
+					if v, ok := info.Uses[n].(*types.Var); ok {
+						sh.add(v)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return sh
+}
+
+func (sh *sharing) add(v *types.Var) {
+	if v == nil || isSyncPrimitive(v.Type()) {
+		return
+	}
+	sh.direct[v] = true
+}
+
+func (sh *sharing) addIndirect(v *types.Var) {
+	if v == nil || isSyncPrimitive(v.Type()) {
+		return
+	}
+	sh.indirect[v] = true
+}
+
+// reachable reports whether memory reached through v (by deref, index,
+// or field selection) is shared.
+func (sh *sharing) reachable(v *types.Var) bool {
+	return sh.direct[v] || sh.indirect[v]
+}
+
+// isSyncPrimitive recognizes the synchronization types the rewriter
+// retargets (and their sp/spsync counterparts) so their internal state
+// is never instrumented as data: announcing reads of a mutex would
+// report the synchronization itself as a race.
+func isSyncPrimitive(t types.Type) bool {
+	for {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		return true // Mutex, RWMutex, WaitGroup, Once, Cond, Map, Pool
+	case "repro/sp/spsync":
+		switch obj.Name() {
+		case "Mutex", "RWMutex", "WaitGroup":
+			return true
+		}
+	}
+	return false
+}
+
+// varOf resolves an identifier to the variable it names, whether this
+// occurrence uses or defines it.
+func varOf(info *types.Info, id *ast.Ident) *types.Var {
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// definesNew reports whether this identifier occurrence DECLARES the
+// variable (the := / var case). The declaring store cannot race: any
+// goroutine able to see the variable is created after it exists.
+func definesNew(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Defs[id]
+	return ok
+}
+
+// sideEffectFree reports whether re-evaluating e (inside an injected
+// &expr argument) is safe: identifiers, literals, field selections, and
+// parenthesized forms thereof.
+func sideEffectFree(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return sideEffectFree(e.X)
+	case *ast.SelectorExpr:
+		return sideEffectFree(e.X)
+	case *ast.UnaryExpr:
+		return e.Op != token.ARROW && sideEffectFree(e.X)
+	case *ast.BinaryExpr:
+		return sideEffectFree(e.X) && sideEffectFree(e.Y)
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package instrument
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/sp"
+	"repro/sp/trace"
+)
+
+// TestCorpusDifferential is the selftest: every committed corpus
+// program is run under `go run -race` AND instrumented-under-sp, and
+// both verdicts must match the committed expectation. This is the
+// ground-truth check that the rewriter sees every access and join edge
+// the programs exercise.
+func TestCorpusDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	progs, err := CorpusPrograms("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) < 10 {
+		t.Fatalf("corpus has %d programs, want >= 10", len(progs))
+	}
+	racy, clean := 0, 0
+	for _, p := range progs {
+		expect, err := ExpectedVerdict(filepath.Join("testdata/corpus", p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if expect == "racy" {
+			racy++
+		} else {
+			clean++
+		}
+	}
+	if racy < 4 || clean < 4 {
+		t.Fatalf("corpus balance: %d racy / %d clean, want >= 4 of each", racy, clean)
+	}
+	corpus, err := filepath.Abs("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range progs {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			t.Parallel()
+			v, err := SelftestProgram(filepath.Join(corpus, p), t.TempDir(), "sp-hybrid", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.Agree() {
+				t.Fatalf("verdicts disagree: expect=%s sp=%v go-race=%v (report: %+v)",
+					v.Expect, v.SPRacy, v.RaceRacy, v.Report)
+			}
+			if v.Report.Orphans != 0 {
+				t.Fatalf("instrumented run dropped %d events from unknown goroutines", v.Report.Orphans)
+			}
+		})
+	}
+}
+
+// TestCorpusSerializedReplayAllBackends records one racy and one clean
+// corpus program under serial elision and replays the trace through
+// every registered backend: verdict and counters must be identical
+// everywhere (the acceptance criterion for cross-backend completeness),
+// and a second recording must be byte-identical to the first.
+func TestCorpusSerializedReplayAllBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	for _, prog := range []string{"counter_racy", "fanout_clean"} {
+		prog := prog
+		t.Run(prog, func(t *testing.T) {
+			t.Parallel()
+			work := t.TempDir()
+			corpus, err := filepath.Abs("testdata/corpus")
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcDir, err := PrepareProgram(filepath.Join(corpus, prog), work)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, bin, _, err := BuildInstrumented(srcDir, work, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr1 := filepath.Join(work, "run1.sptr")
+			tr2 := filepath.Join(work, "run2.sptr")
+			rep1, _, err := RunInstrumented(bin, work, "sp-order",
+				"SPSYNC_SERIALIZE=1", "SPSYNC_TRACE="+tr1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := RunInstrumented(bin, work, "sp-order",
+				"SPSYNC_SERIALIZE=1", "SPSYNC_TRACE="+tr2); err != nil {
+				t.Fatal(err)
+			}
+			d1, d2 := mustRead(t, tr1), mustRead(t, tr2)
+			if string(d1) != string(d2) {
+				t.Fatalf("serialized recordings differ across runs: %d vs %d bytes", len(d1), len(d2))
+			}
+			sigs, err := trace.Differential(d1, nil)
+			if err != nil {
+				t.Fatalf("differential replay: %v", err)
+			}
+			if len(sigs) < len(sp.BackendNames()) {
+				t.Fatalf("differential covered %d backends, registry has %d", len(sigs), len(sp.BackendNames()))
+			}
+			for backend, rep := range sigs {
+				if (len(rep.Locations) > 0) != rep1.Racy {
+					t.Fatalf("backend %s verdict diverges from live run: %v vs racy=%v",
+						backend, rep.Locations, rep1.Racy)
+				}
+			}
+		})
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -1,0 +1,140 @@
+package instrument
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// plantedSite locates the "ops++ // planted race" line of the plain
+// livemonitor twin, so the assertion tracks the source.
+func plantedSite(t *testing.T, dir string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "ops++") {
+			return fmt.Sprintf("main.go:%d", i+1)
+		}
+	}
+	t.Fatal("plain twin lost its planted ops++ line")
+	return ""
+}
+
+// TestE2ELivemonitorPlain is the end-to-end satellite: the plain
+// (uninstrumented) twin of examples/livemonitor goes through the full
+// pipeline — rewrite, build, run live — on both concurrent backends,
+// and the planted ops++ race must be re-detected at exactly its source
+// line while the partial-sum cells stay quiet.
+func TestE2ELivemonitorPlain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	root, err := FindRepoRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(root, "examples", "livemonitor", "plain")
+	work := t.TempDir()
+	srcDir, err := PrepareProgram(plain, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bin, res, err := BuildInstrumented(srcDir, work, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Changed() == 0 {
+		t.Fatal("plain twin not rewritten at all")
+	}
+	site := plantedSite(t, plain)
+	for _, backend := range []string{"sp-hybrid", "depa"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			rep, out, err := RunInstrumented(bin, t.TempDir(), backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out, "parallel sum = 496 (want 496)") {
+				t.Fatalf("instrumented program computed the wrong sum:\n%s", out)
+			}
+			if !rep.Racy {
+				t.Fatalf("planted race not detected (report: %+v)", rep)
+			}
+			if len(rep.Locations) != 1 {
+				t.Fatalf("raced locations %v, want exactly the ops counter", rep.Locations)
+			}
+			for _, race := range rep.Races {
+				for _, s := range []string{race.FirstSite, race.SecondSite} {
+					if s != site {
+						t.Fatalf("race reported at %q, want %q (races: %+v)", s, site, rep.Races)
+					}
+				}
+			}
+			if rep.Forks == 0 || rep.Forks != rep.Joins {
+				t.Fatalf("forks=%d joins=%d, want equal and nonzero", rep.Forks, rep.Joins)
+			}
+			if rep.Orphans != 0 || rep.Unjoined != 0 {
+				t.Fatalf("orphans=%d unjoined=%d, want 0/0", rep.Orphans, rep.Unjoined)
+			}
+		})
+	}
+}
+
+// TestE2EZeroEventsOnQuietMain pins the runtime half of the identity
+// regression: a main package with no shared state gets only the
+// lifecycle hook, and its run announces zero accesses, forks, joins,
+// and races.
+func TestE2EZeroEventsOnQuietMain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	work := t.TempDir()
+	srcDir := filepath.Join(work, "src")
+	if err := os.MkdirAll(srcDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	quiet := `package main
+
+import "fmt"
+
+func main() {
+	n := 0
+	for i := 0; i < 5; i++ {
+		n += i
+	}
+	fmt.Println("n:", n)
+}
+`
+	if err := os.WriteFile(filepath.Join(srcDir, "main.go"), []byte(quiet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(srcDir, "go.mod"),
+		[]byte("module quiet\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, bin, res, err := BuildInstrumented(srcDir, work, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var main FileStats
+	for _, f := range res.Files {
+		if strings.HasSuffix(f.Name, "main.go") {
+			main = f
+		}
+	}
+	if !main.MainHook || main.Reads != 0 || main.Writes != 0 || main.GoStmts != 0 {
+		t.Fatalf("quiet main rewritten beyond the lifecycle hook: %+v", main)
+	}
+	rep, _, err := RunInstrumented(bin, work, "sp-hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accesses != 0 || rep.Forks != 0 || rep.Joins != 0 || rep.Racy {
+		t.Fatalf("quiet program produced events: %+v", rep)
+	}
+}

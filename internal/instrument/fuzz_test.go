@@ -1,0 +1,110 @@
+package instrument
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// fuzzSeeds collects the seed corpus for FuzzRewrite: every committed
+// corpus program plus a spread of generated programs from the source
+// workload generator.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	var seeds [][]byte
+	progs, err := CorpusPrograms("testdata/corpus")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, p := range progs {
+		data, err := os.ReadFile(filepath.Join("testdata/corpus", p, "main.go"))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, data)
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seeds = append(seeds, workload.GenSource(rand.New(rand.NewSource(seed)), workload.DefaultSourceConfig()))
+	}
+	return seeds
+}
+
+// FuzzRewrite drives RewriteSource with arbitrary Go source: whenever
+// the input is a valid, type-correct, collision-free single-file
+// package, the rewritten output must still parse and type-check (the
+// instrumented corpus and build tests separately prove buildability —
+// the fuzz body stays subprocess-free).
+func FuzzRewrite(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		out, st, err := RewriteSource("fuzz.go", src, nil)
+		if err != nil {
+			t.Skip() // not valid instrumentable Go: out of scope
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", out, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("rewritten output does not parse: %v\ninput:\n%s\noutput:\n%s", err, src, out)
+		}
+		if !st.Changed {
+			if string(out) != string(src) {
+				t.Fatalf("unchanged file not byte-stable\ninput:\n%s\noutput:\n%s", src, out)
+			}
+			return
+		}
+		if _, _, err := checkPackage(fset, file.Name.Name, []*ast.File{file}); err != nil {
+			t.Fatalf("rewritten output does not type-check: %v\ninput:\n%s\noutput:\n%s", err, src, out)
+		}
+	})
+}
+
+// TestGeneratedProgramsInstrumentAndBuild is the build-level property
+// check the fuzz body skips: generated programs must instrument to
+// shadow modules that `go build` accepts and that run to a clean
+// report exit on a real backend.
+func TestGeneratedProgramsInstrumentAndBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(string(rune('a'+seed-1)), func(t *testing.T) {
+			t.Parallel()
+			src := workload.GenSource(rand.New(rand.NewSource(seed)), workload.DefaultSourceConfig())
+			work := t.TempDir()
+			srcDir := filepath.Join(work, "src")
+			if err := os.MkdirAll(srcDir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(srcDir, "main.go"), src, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(srcDir, "go.mod"),
+				[]byte("module genprog\n\ngo 1.24\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, bin, res, err := BuildInstrumented(srcDir, work, nil)
+			if err != nil {
+				t.Fatalf("%v\nsource:\n%s", err, src)
+			}
+			if res.Changed() == 0 {
+				t.Fatalf("generator produced a program the rewriter left untouched:\n%s", src)
+			}
+			rep, _, err := RunInstrumented(bin, work, "sp-hybrid")
+			if err != nil {
+				t.Fatalf("%v\nsource:\n%s", err, src)
+			}
+			if rep.Accesses == 0 || rep.Orphans != 0 {
+				t.Fatalf("instrumented run saw accesses=%d orphans=%d\nsource:\n%s",
+					rep.Accesses, rep.Orphans, src)
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package instrument
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// sharedImporter is one process-wide source importer: building the
+// stdlib type information from source costs ~600ms cold, so the caches
+// are reused across every package (and every fuzz iteration) checked in
+// this process. The importer keeps its own FileSet — imported objects'
+// positions land there, which only affects error cosmetics, never the
+// rewrite. go/srcimporter is not documented as concurrency-safe, so
+// Import is serialized.
+var sharedImporter = struct {
+	mu  sync.Mutex
+	imp types.Importer
+}{}
+
+func (li lockedImporter) Import(path string) (*types.Package, error) {
+	sharedImporter.mu.Lock()
+	defer sharedImporter.mu.Unlock()
+	if sharedImporter.imp == nil {
+		sharedImporter.imp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	}
+	return sharedImporter.imp.Import(path)
+}
+
+type lockedImporter struct{}
+
+// checkPackage type-checks one package's files and returns the facts
+// the analysis and rewriter need. Programs being instrumented must
+// type-check — a heuristic rewrite of ill-typed code could change what
+// it means.
+func checkPackage(fset *token.FileSet, name string, files []*ast.File) (*types.Info, *types.Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: lockedImporter{}}
+	pkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return info, pkg, nil
+}
+
+// collisionCheck rejects input programs that declare identifiers the
+// rewrite injects: references to the spsync qualifier or the __sp_*
+// temporaries would silently bind to the program's own names. It runs
+// on the instrumentation input only — rewriter output legitimately
+// declares these.
+func collisionCheck(info *types.Info) error {
+	for id, obj := range info.Defs {
+		if obj == nil {
+			continue
+		}
+		if id.Name == "spsync" || strings.HasPrefix(id.Name, "__sp_") {
+			return fmt.Errorf("declared identifier %q collides with instrumentation-injected names", id.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+// Package instrument rewrites ordinary Go source onto the sp/spsync
+// monitoring surface: `go` statements become spsync.Go, sync.Mutex /
+// sync.RWMutex / sync.WaitGroup become their spsync drop-ins, func main
+// gains the monitor lifecycle hook, and every statement that touches a
+// variable the escape heuristic classifies as shared gets spsync.Read /
+// spsync.Write announcements injected around it (reads before the
+// statement, writes after). The rewritten tree is emitted into a shadow
+// directory together with a go.mod that `replace`s the repro module, so
+// the instrumented program builds with plain `go build` and runs
+// against any registered sp backend.
+//
+// The heuristic deliberately over-approximates sharing — announcing an
+// access that never races is harmless (the series-parallel relation
+// decides), while a missed access is a missed race. What it cannot see
+// is documented in the README's limitations table and pinned by the
+// differential corpus (cmd/spinstrument selftest).
+package instrument
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config describes one instrumentation run.
+type Config struct {
+	// Dir is the root to instrument: a single package directory or a
+	// tree (every package directory below it is rewritten).
+	Dir string
+	// Out is the shadow directory the rewritten module is emitted into.
+	Out string
+	// Allow lists extra variable names to force into the shared set
+	// (the -shared flag), for state the heuristic cannot see.
+	Allow []string
+	// RepoRoot is the path to the repro module the shadow go.mod
+	// replaces "repro" with. Empty means: walk up from Dir looking for
+	// it, then from the working directory.
+	RepoRoot string
+	// Module overrides the shadow module path. Empty means: reuse the
+	// instrumented module's path, or "spshadow" when there is none (or
+	// when it would collide with "repro" itself).
+	Module string
+}
+
+// FileStats counts what the rewriter did to one file.
+type FileStats struct {
+	Name         string // path relative to Config.Dir
+	Changed      bool   // false files are copied byte-for-byte
+	Reads        int    // injected spsync.Read calls
+	Writes       int    // injected spsync.Write calls
+	GoStmts      int    // go statements rewritten onto spsync.Go
+	SyncRewrites int    // sync.{Mutex,RWMutex,WaitGroup} retargeted
+	MainHook     bool   // defer spsync.Main()() injected
+}
+
+// Result is what Instrument reports back.
+type Result struct {
+	OutDir string
+	Module string
+	Files  []FileStats
+}
+
+// Changed counts files that were actually rewritten.
+func (r *Result) Changed() int {
+	n := 0
+	for _, f := range r.Files {
+		if f.Changed {
+			n++
+		}
+	}
+	return n
+}
+
+// Instrument rewrites every package under cfg.Dir into cfg.Out and
+// writes the shadow go.mod. Test files are skipped: the instrumented
+// artifact is for running programs, not their tests.
+func Instrument(cfg Config) (*Result, error) {
+	dirs, err := packageDirs(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("instrument: no Go packages under %s", cfg.Dir)
+	}
+	if cfg.RepoRoot == "" {
+		cfg.RepoRoot, err = FindRepoRoot(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{OutDir: cfg.Out}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(cfg.Dir, dir)
+		if err != nil {
+			return nil, err
+		}
+		files, err := instrumentPackage(dir, rel, cfg.Allow)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			if err := emitFile(cfg, f); err != nil {
+				return nil, err
+			}
+			res.Files = append(res.Files, f.FileStats)
+		}
+	}
+	mod, err := writeShadowModule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Module = mod
+	return res, nil
+}
+
+// RewriteSource instruments a single self-contained file (a one-file
+// package) and returns the rewritten source. It is the surface the fuzz
+// target drives: the result must always parse and type-check again.
+func RewriteSource(filename string, src []byte, allow []string) ([]byte, FileStats, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, FileStats{}, err
+	}
+	info, pkg, err := checkPackage(fset, f.Name.Name, []*ast.File{f})
+	if err != nil {
+		return nil, FileStats{}, err
+	}
+	if err := collisionCheck(info); err != nil {
+		return nil, FileStats{}, err
+	}
+	sh := analyze(info, pkg, []*ast.File{f}, allow)
+	r := newRewriter(fset, info, sh)
+	r.file(f)
+	st := r.stats
+	st.Name = filename
+	if !st.Changed {
+		return src, st, nil
+	}
+	out, err := printFile(fset, f)
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// fileResult pairs the rewrite stats with what to emit.
+type fileResult struct {
+	FileStats
+	relDir string // package dir relative to Config.Dir
+	src    []byte // original bytes (emitted verbatim when !Changed)
+	out    []byte // rewritten bytes when Changed
+}
+
+// instrumentPackage parses, type-checks, and rewrites one package
+// directory. All non-test files are checked together so the analysis
+// sees the whole package.
+func instrumentPackage(dir, relDir string, allow []string) ([]fileResult, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		names   []string
+		sources [][]byte
+		files   []*ast.File
+		pkgName string
+	)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), src, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("instrument: %w", err)
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("instrument: %s: packages %q and %q in one directory", dir, pkgName, f.Name.Name)
+		}
+		names = append(names, name)
+		sources = append(sources, src)
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info, pkg, err := checkPackage(fset, pkgName, files)
+	if err != nil {
+		return nil, fmt.Errorf("instrument: %s: %w", dir, err)
+	}
+	if err := collisionCheck(info); err != nil {
+		return nil, fmt.Errorf("instrument: %s: %w", dir, err)
+	}
+	sh := analyze(info, pkg, files, allow)
+	var out []fileResult
+	for i, f := range files {
+		r := newRewriter(fset, info, sh)
+		r.file(f)
+		fr := fileResult{FileStats: r.stats, relDir: relDir, src: sources[i]}
+		fr.FileStats.Name = filepath.Join(relDir, names[i])
+		if fr.Changed {
+			fr.out, err = printFile(fset, f)
+			if err != nil {
+				return nil, fmt.Errorf("instrument: %s: %w", fr.FileStats.Name, err)
+			}
+		}
+		out = append(out, fr)
+	}
+	return out, nil
+}
+
+// printFile renders a mutated tree and re-formats the bytes, so that
+// injected position-less nodes end up on gofmt-clean lines.
+func printFile(fset *token.FileSet, f *ast.File) ([]byte, error) {
+	var b strings.Builder
+	if err := format.Node(&b, fset, f); err != nil {
+		return nil, err
+	}
+	return format.Source([]byte(b.String()))
+}
+
+// packageDirs returns dir itself plus every subdirectory containing Go
+// files, skipping testdata, hidden, and underscore-prefixed trees.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,87 @@
+package instrument
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// emitFile writes one rewritten (or verbatim) file into the shadow
+// tree, preserving the package's relative path.
+func emitFile(cfg Config, f fileResult) error {
+	dir := filepath.Join(cfg.Out, f.relDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data := f.src
+	if f.Changed {
+		data = f.out
+	}
+	return os.WriteFile(filepath.Join(cfg.Out, f.FileStats.Name), data, 0o644)
+}
+
+var moduleLine = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// writeShadowModule gives the shadow tree a go.mod so it builds with
+// plain `go build`: the instrumented module's own path is kept (so
+// intra-module imports resolve unchanged) and the repro module is wired
+// in by a replace directive pointing at the source checkout. A tree
+// with no go.mod — or one whose module IS repro, which must not require
+// itself — gets a synthesized module path instead.
+func writeShadowModule(cfg Config) (string, error) {
+	module := cfg.Module
+	if module == "" {
+		if data, err := os.ReadFile(filepath.Join(cfg.Dir, "go.mod")); err == nil {
+			if m := moduleLine.FindSubmatch(data); m != nil {
+				module = string(m[1])
+			}
+		}
+		if module == "" || module == "repro" {
+			module = "spshadow"
+		}
+	}
+	root, err := filepath.Abs(cfg.RepoRoot)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n\ngo 1.24\n\nrequire repro v0.0.0\n\nreplace repro => %s\n", module, root)
+	if err := os.WriteFile(filepath.Join(cfg.Out, "go.mod"), []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return module, nil
+}
+
+// FindRepoRoot locates the repro module checkout: upward from start,
+// then from the working directory, looking for a go.mod declaring
+// `module repro`.
+func FindRepoRoot(start string) (string, error) {
+	try := func(dir string) (string, bool) {
+		for {
+			data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+			if err == nil {
+				if m := moduleLine.FindSubmatch(data); m != nil && string(m[1]) == "repro" {
+					return dir, true
+				}
+			}
+			parent := filepath.Dir(dir)
+			if parent == dir {
+				return "", false
+			}
+			dir = parent
+		}
+	}
+	if abs, err := filepath.Abs(start); err == nil {
+		if root, ok := try(abs); ok {
+			return root, nil
+		}
+	}
+	if wd, err := os.Getwd(); err == nil {
+		if root, ok := try(wd); ok {
+			return root, nil
+		}
+	}
+	return "", fmt.Errorf("instrument: cannot locate the repro module from %s; pass RepoRoot", start)
+}

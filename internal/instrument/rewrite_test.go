@@ -1,0 +1,306 @@
+package instrument
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// pureLib is a file with no shared state: locals only, no closures, no
+// goroutines, no sync types. Instrumentation must be the identity.
+const pureLib = `package lib
+
+import "strings"
+
+func Sum(xs ...int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func Join(parts []string) string {
+	return strings.Join(parts, ",")
+}
+`
+
+// TestIdentityOnPureFile pins the regression the shadow tree relies on:
+// a file the heuristic finds nothing in is returned byte-for-byte (and
+// therefore copied verbatim, never re-printed).
+func TestIdentityOnPureFile(t *testing.T) {
+	out, st, err := RewriteSource("lib.go", []byte(pureLib), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Changed {
+		t.Fatalf("pure file reported changed: %+v", st)
+	}
+	if string(out) != pureLib {
+		t.Fatalf("pure file not byte-stable:\n%s", out)
+	}
+}
+
+func rewrite(t *testing.T, src string, allow ...string) (string, FileStats) {
+	t.Helper()
+	out, st, err := RewriteSource("prog.go", []byte(src), allow)
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	// Whatever comes out must still parse.
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "prog.go", out, parser.SkipObjectResolution); err != nil {
+		t.Fatalf("rewritten source does not parse: %v\n%s", err, out)
+	}
+	return string(out), st
+}
+
+func TestRewriteGlobalCounter(t *testing.T) {
+	src := `package main
+
+var counter int
+
+func main() {
+	counter++
+}
+`
+	out, st := rewrite(t, src)
+	for _, want := range []string{
+		"defer spsync.Main()()",
+		`spsync.Read(&counter, "prog.go:6")`,
+		`spsync.Write(&counter, "prog.go:6")`,
+		`"repro/sp/spsync"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if st.Reads != 1 || st.Writes != 1 || !st.MainHook {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRewriteGoAndSync(t *testing.T) {
+	src := `package main
+
+import "sync"
+
+var x int
+
+func main() {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		x++
+		mu.Unlock()
+	}()
+	wg.Wait()
+}
+`
+	out, st := rewrite(t, src)
+	for _, want := range []string{
+		"var wg spsync.WaitGroup",
+		"var mu spsync.Mutex",
+		"spsync.Go(func() {",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `"sync"`) {
+		t.Fatalf("unused sync import not removed:\n%s", out)
+	}
+	if st.GoStmts != 1 || st.SyncRewrites != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestRewriteGoBindsArguments pins evaluate-then-spawn: a go statement
+// with arguments binds them to temporaries before the spawn.
+func TestRewriteGoBindsArguments(t *testing.T) {
+	src := `package main
+
+func work(a, b int) { _ = a + b }
+
+func main() {
+	n := 1
+	go work(n, n+1)
+	n = 2
+}
+`
+	out, _ := rewrite(t, src)
+	for _, want := range []string{"__sp_f0 := work", "__sp_a0_0 := n", "__sp_a0_1 := n + 1",
+		"spsync.Go(func() {", "__sp_f0(__sp_a0_0, __sp_a0_1)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestRewriteMixedSyncUsage pins import surgery when only part of the
+// sync package moves: sync.Once stays, so the import must survive.
+func TestRewriteMixedSyncUsage(t *testing.T) {
+	src := `package main
+
+import "sync"
+
+var once sync.Once
+var mu sync.Mutex
+
+func main() {
+	once.Do(func() { mu.Lock(); mu.Unlock() })
+}
+`
+	out, _ := rewrite(t, src)
+	if !strings.Contains(out, `"sync"`) {
+		t.Fatalf("sync import dropped while sync.Once still used:\n%s", out)
+	}
+	if !strings.Contains(out, "var mu spsync.Mutex") || !strings.Contains(out, "var once sync.Once") {
+		t.Fatalf("selective retargeting wrong:\n%s", out)
+	}
+}
+
+// TestRewriteWriteAfterJoiningCall pins the write-after rule: a store
+// whose statement calls Wait must land after the join, on the
+// post-join thread.
+func TestRewriteWriteAfterJoiningCall(t *testing.T) {
+	src := `package main
+
+import "sync"
+
+var x, y int
+
+func waitAndGet(wg *sync.WaitGroup) int {
+	wg.Wait()
+	return y
+}
+
+func main() {
+	var wg sync.WaitGroup
+	x = waitAndGet(&wg)
+}
+`
+	out, _ := rewrite(t, src)
+	assign := strings.Index(out, "x = waitAndGet")
+	write := strings.Index(out, `spsync.Write(&x`)
+	if assign < 0 || write < 0 || write < assign {
+		t.Fatalf("write not injected after the joining statement:\n%s", out)
+	}
+}
+
+func TestRewriteCollisionRejected(t *testing.T) {
+	src := `package main
+
+var spsync int
+
+func main() { spsync++ }
+`
+	if _, _, err := RewriteSource("prog.go", []byte(src), nil); err == nil ||
+		!strings.Contains(err.Error(), "collides") {
+		t.Fatalf("collision not rejected: %v", err)
+	}
+}
+
+// TestRewriteAllowlist pins the -shared escape hatch: a plain local the
+// heuristic would never classify becomes instrumented when named.
+func TestRewriteAllowlist(t *testing.T) {
+	src := `package main
+
+func main() {
+	hidden := 0
+	hidden++
+	_ = hidden
+}
+`
+	out, st := rewrite(t, src, "hidden")
+	if !strings.Contains(out, `spsync.Write(&hidden`) {
+		t.Fatalf("allowlisted variable not instrumented:\n%s", out)
+	}
+	if st.Writes != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	outDefault, stDefault := rewrite(t, src)
+	if stDefault.Reads != 0 || stDefault.Writes != 0 {
+		t.Fatalf("un-allowlisted local instrumented anyway:\n%s", outDefault)
+	}
+}
+
+// TestRewriteLabeledStatement pins that labels keep covering their
+// statement after injection (break/continue targets stay valid).
+func TestRewriteLabeledStatement(t *testing.T) {
+	src := `package main
+
+var n int
+
+func main() {
+loop:
+	for i := 0; i < 3; i++ {
+		for {
+			n++
+			continue loop
+		}
+	}
+}
+`
+	out, _ := rewrite(t, src)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "prog.go", out, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	ast.Inspect(f, func(m ast.Node) bool {
+		if l, ok := m.(*ast.LabeledStmt); ok && l.Label.Name == "loop" {
+			if _, isFor := l.Stmt.(*ast.ForStmt); isFor {
+				found = true
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatalf("label detached from its loop:\n%s", out)
+	}
+}
+
+// TestRewrittenOutputTypechecks closes the loop on a representative
+// program: the output must type-check against the real spsync package.
+func TestRewrittenOutputTypechecks(t *testing.T) {
+	src := `package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var counter int
+
+func main() {
+	cells := make([]int, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cells[i] = i
+			counter++
+		}()
+	}
+	wg.Wait()
+	fmt.Println(counter, cells)
+}
+`
+	out, _ := rewrite(t, src)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "prog.go", []byte(out), parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := checkPackage(fset, "main", []*ast.File{f}); err != nil {
+		t.Fatalf("rewritten output does not type-check: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,23 @@
+// spinstrument:expect clean
+//
+// The race-free twin of closure_racy: the continuation's store happens
+// strictly after the join, so the conflicting pair is ordered.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+func main() {
+	x := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		x = 1
+	}()
+	wg.Wait()
+	x = 2
+	fmt.Println("x:", x)
+}

@@ -1,0 +1,24 @@
+// spinstrument:expect racy
+//
+// Closure capture with a write on both sides of the fork: the spawned
+// closure and the continuation both store to the captured variable
+// before the join, so the two writes are parallel.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+func main() {
+	x := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		x = 1
+	}()
+	x = 2
+	wg.Wait()
+	fmt.Println("x:", x)
+}

@@ -1,0 +1,33 @@
+// spinstrument:expect clean
+//
+// The racy counter made correct: every increment holds the mutex, so
+// the happens-before detector sees ordered critical sections and the
+// lock-aware sp monitor sees a shared lock in every parallel pair.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	mu      sync.Mutex
+	counter int
+)
+
+func main() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Println("counter:", counter)
+}

@@ -1,0 +1,27 @@
+// spinstrument:expect racy
+//
+// The classic: four goroutines bump one package-level counter with no
+// synchronization. Both detectors must flag the counter.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var counter int
+
+func main() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				counter++
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Println("counter:", counter)
+}

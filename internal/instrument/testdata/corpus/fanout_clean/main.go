@@ -1,0 +1,29 @@
+// spinstrument:expect clean
+//
+// The race-free twin of fanout_racy: workers touch only their own
+// cells, and the spawner reads them strictly after Wait — every
+// conflicting pair is ordered by a fork or a join.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+func main() {
+	cells := make([]int, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cells[i] = i * i
+		}()
+	}
+	wg.Wait()
+	sum := 0
+	for i := 0; i < 8; i++ {
+		sum += cells[i]
+	}
+	fmt.Println("sum:", sum)
+}

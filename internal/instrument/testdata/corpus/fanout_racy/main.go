@@ -1,0 +1,26 @@
+// spinstrument:expect racy
+//
+// WaitGroup fan-out where each worker writes its own cell (safe) but
+// also folds into one captured accumulator (racy).
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+func main() {
+	cells := make([]int, 8)
+	sum := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cells[i] = i * i
+			sum += cells[i]
+		}()
+	}
+	wg.Wait()
+	fmt.Println("sum:", sum, "cells:", cells)
+}

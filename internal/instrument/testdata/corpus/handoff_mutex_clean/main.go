@@ -1,0 +1,39 @@
+// spinstrument:expect clean
+//
+// Mutex hand-off: a producer fills the slot under the lock, consumers
+// drain it under the same lock. Every conflicting access pair shares
+// the mutex, so neither detector reports it.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	mu   sync.Mutex
+	slot int
+	got  [2]int
+)
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		slot = 41
+		mu.Unlock()
+	}()
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			slot++
+			got[i] = slot
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	fmt.Println("slot:", slot, "got:", got)
+}

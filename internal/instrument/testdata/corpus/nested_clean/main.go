@@ -1,0 +1,31 @@
+// spinstrument:expect clean
+//
+// The race-free twin of nested_racy: main only touches the shared
+// variable after the outer Wait, which (transitively, through the
+// child's inner Wait) joins the grandchild's store into main's past.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var shared int
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			shared++
+		}()
+		inner.Wait()
+		shared++ // serial: after the inner join
+	}()
+	wg.Wait()
+	fmt.Println("shared:", shared)
+}

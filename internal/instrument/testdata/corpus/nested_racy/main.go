@@ -1,0 +1,31 @@
+// spinstrument:expect racy
+//
+// Nested spawns: a child spawns a grandchild (waiting on its own inner
+// WaitGroup) and the grandchild's store races with a read the main
+// goroutine performs before the outer Wait.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var shared int
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			shared++
+		}()
+		inner.Wait()
+	}()
+	peek := shared // racy: the grandchild may be storing right now
+	wg.Wait()
+	fmt.Println("peek:", peek, "shared:", shared)
+}

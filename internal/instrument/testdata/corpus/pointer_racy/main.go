@@ -1,0 +1,26 @@
+// spinstrument:expect racy
+//
+// Sharing through a pointer parameter: two goroutines increment the
+// same cell through *p. The instrumentation sees the accesses via the
+// pointer-parameter heuristic, not via the variable name.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+func bump(p *int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	*p = *p + 1
+}
+
+func main() {
+	x := 0
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go bump(&x, &wg)
+	go bump(&x, &wg)
+	wg.Wait()
+	fmt.Println("x:", x)
+}

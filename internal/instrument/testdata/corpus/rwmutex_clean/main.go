@@ -1,0 +1,38 @@
+// spinstrument:expect clean
+//
+// RWMutex with disciplined readers: writers hold the write lock,
+// readers hold read locks. sp models RLock as acquiring the same lock,
+// which agrees with happens-before on this (reader/writer) pattern.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	mu  sync.RWMutex
+	val int
+)
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		val = 42
+		mu.Unlock()
+	}()
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			mu.RLock()
+			v := val
+			mu.RUnlock()
+			_ = v
+		}()
+	}
+	wg.Wait()
+	fmt.Println("val:", val)
+}

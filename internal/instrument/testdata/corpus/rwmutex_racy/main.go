@@ -1,0 +1,36 @@
+// spinstrument:expect racy
+//
+// The undisciplined twin of rwmutex_clean: the writer takes the write
+// lock but the readers skip their read locks, so reader/writer pairs
+// share no lock and have no happens-before edge.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	mu  sync.RWMutex
+	val int
+)
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		val = 42
+		mu.Unlock()
+	}()
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			v := val // unprotected read
+			_ = v
+		}()
+	}
+	wg.Wait()
+	fmt.Println("val:", val)
+}

@@ -1,0 +1,20 @@
+// spinstrument:expect clean
+//
+// No concurrency at all: a single goroutine mutating package-level
+// state. Every access is announced, none can race.
+package main
+
+import "fmt"
+
+var (
+	total int
+	hist  [4]int
+)
+
+func main() {
+	for i := 0; i < 16; i++ {
+		total += i
+		hist[i%4]++
+	}
+	fmt.Println("total:", total, "hist:", hist)
+}

@@ -674,7 +674,12 @@ func (m *Monitor) access(t ThreadID, st *threadState, addr uint64, write bool, s
 		m.fastPath(t, st, addr, write, site)
 		return
 	}
-	if !m.lockFreeQ {
+	// Off the fast path, the global mutex is skipped only when the
+	// backend answers queries lock-free AND no trace is being recorded:
+	// a lock-aware monitor on a concurrent backend (fastAccess off,
+	// lockFreeQ on) still delivers accesses concurrently, and the trace
+	// encoder is not internally synchronized.
+	if !m.lockFreeQ || m.trace != nil {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 	}

@@ -1,0 +1,87 @@
+package spsync
+
+import (
+	"reflect"
+	"sync"
+)
+
+// addrMap interns raw pointer values as dense location ids (first-seen
+// order). Dense ids keep reports readable and — decisively — make
+// serialized recordings deterministic: two SPSYNC_SERIALIZE=1 runs of
+// the same binary see the same allocation and access order, so the
+// interned ids, and therefore the recorded traces, are byte-identical
+// even though the raw heap addresses differ run to run.
+//
+// The trade-off is that a location id outlives the object: if the
+// allocator reuses a freed object's address, old and new object share
+// an id. A stale pairing needs the old access to be logically parallel
+// to the new one AND the address recycled in between — not seen in
+// practice on the corpus, and documented as a limitation.
+type addrMap struct {
+	mu   sync.Mutex
+	ids  map[uintptr]uint64
+	next uint64
+}
+
+func (a *addrMap) intern(p uintptr) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if id, ok := a.ids[p]; ok {
+		return id
+	}
+	if a.ids == nil {
+		a.ids = map[uintptr]uint64{}
+	}
+	id := a.next
+	a.next++
+	a.ids[p] = id
+	return id
+}
+
+// pointerOf extracts the raw address from the injected &expr argument.
+// Anything that is not a non-nil pointer (the rewriter should never
+// produce one, but hand-written calls might) is rejected.
+func pointerOf(p any) (uintptr, bool) {
+	v := reflect.ValueOf(p)
+	if v.Kind() != reflect.Pointer || v.IsNil() {
+		return 0, false
+	}
+	return v.Pointer(), true
+}
+
+// Read records a shared-memory load through p (a pointer to the cell
+// being read) at the given source site ("file.go:line"). The rewriter
+// injects these before each statement for every shared read the
+// statement performs.
+func Read(p any, site string) {
+	e := current()
+	g := e.cur()
+	if g == nil {
+		e.orphans.Add(1)
+		return
+	}
+	raw, ok := pointerOf(p)
+	if !ok {
+		return
+	}
+	g.th.ReadAt(e.addrs.intern(raw), site)
+}
+
+// Write records a shared-memory store through p at the given source
+// site. The rewriter injects these after each statement for every
+// shared write the statement performs (after, so that a statement whose
+// evaluation moves the goroutine across a join — e.g. a call that
+// Waits — attributes the store to the post-join thread).
+func Write(p any, site string) {
+	e := current()
+	g := e.cur()
+	if g == nil {
+		e.orphans.Add(1)
+		return
+	}
+	raw, ok := pointerOf(p)
+	if !ok {
+		return
+	}
+	g.th.WriteAt(e.addrs.intern(raw), site)
+}

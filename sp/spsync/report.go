@@ -1,0 +1,107 @@
+package spsync
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/sp"
+)
+
+// RaceJSON is one detected race in the shutdown report: the raced
+// (dense) location and the two access sites as "file.go:line" strings
+// from the original, uninstrumented source.
+type RaceJSON struct {
+	Addr       uint64 `json:"addr"`
+	Kind       string `json:"kind"`
+	First      int64  `json:"first"`
+	Second     int64  `json:"second"`
+	FirstSite  string `json:"firstSite,omitempty"`
+	SecondSite string `json:"secondSite,omitempty"`
+}
+
+// ReportJSON is the machine-readable outcome an instrumented binary
+// writes at shutdown (SPSYNC_REPORT). The differential harness parses
+// it to obtain the sp verdict: Racy == len(Races) > 0.
+type ReportJSON struct {
+	Backend   string     `json:"backend"`
+	LockAware bool       `json:"lockAware"`
+	Serialize bool       `json:"serialize"`
+	Racy      bool       `json:"racy"`
+	Races     []RaceJSON `json:"races"`
+	Locations []uint64   `json:"locations"`
+	Threads   int64      `json:"threads"`
+	Forks     int64      `json:"forks"`
+	Joins     int64      `json:"joins"`
+	Accesses  int64      `json:"accesses"`
+	// Orphans counts events dropped because they came from goroutines
+	// the instrumentation did not spawn; Unjoined counts children left
+	// logically parallel at join points. Both zero on fully covered
+	// programs — non-zero values flag coverage gaps honestly.
+	Orphans  int64  `json:"orphans"`
+	Unjoined int64  `json:"unjoined"`
+	Trace    string `json:"trace,omitempty"`
+	TraceErr string `json:"traceErr,omitempty"`
+}
+
+// buildReport converts the monitor's report into the JSON form.
+func (e *engine) buildReport(rep sp.Report, traceErr error) ReportJSON {
+	out := ReportJSON{
+		Backend:   rep.Backend,
+		LockAware: e.lockAware(),
+		Serialize: e.serialize,
+		Racy:      len(rep.Races) > 0,
+		Locations: rep.Locations,
+		Threads:   rep.Threads,
+		Forks:     rep.Forks,
+		Joins:     rep.Joins,
+		Accesses:  rep.Accesses,
+		Orphans:   e.orphans.Load(),
+		Unjoined:  e.unjoined.Load(),
+		Trace:     e.tracePath,
+	}
+	if traceErr != nil {
+		out.TraceErr = traceErr.Error()
+	}
+	for _, r := range rep.Races {
+		j := RaceJSON{
+			Addr:   r.Addr,
+			Kind:   r.Kind.String(),
+			First:  int64(r.First),
+			Second: int64(r.Second),
+		}
+		if r.FirstSite != nil {
+			j.FirstSite = fmt.Sprint(r.FirstSite)
+		}
+		if r.SecondSite != nil {
+			j.SecondSite = fmt.Sprint(r.SecondSite)
+		}
+		out.Races = append(out.Races, j)
+	}
+	return out
+}
+
+// lockAware reports whether the engine's monitor runs the ALL-SETS
+// protocol. The monitor does not expose the option back, so the engine
+// records it at construction time.
+func (e *engine) lockAware() bool { return e.lockAwareFlag }
+
+// emitReport writes the JSON report to the configured path, or a
+// one-line summary to stderr when no path is set.
+func (e *engine) emitReport(rep sp.Report, traceErr error) {
+	out := e.buildReport(rep, traceErr)
+	if e.reportPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(e.reportPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spsync: report:", err)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"spsync: backend=%s races=%d locations=%d threads=%d forks=%d joins=%d accesses=%d orphans=%d unjoined=%d\n",
+		out.Backend, len(out.Races), len(out.Locations), out.Threads, out.Forks, out.Joins,
+		out.Accesses, out.Orphans, out.Unjoined)
+}

@@ -1,0 +1,161 @@
+package spsync
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Mutex is a drop-in sync.Mutex that reports Acquire/Release to the
+// monitor from inside the real critical section, so the event stream's
+// critical sections nest within the program's. Under the default
+// lock-aware (ALL-SETS) protocol, parallel conflicting accesses that
+// share a lock are not reported — matching `go test -race`'s verdict on
+// mutex-protected sharing.
+type Mutex struct {
+	mu sync.Mutex
+	id atomic.Int64 // monitor lock id, assigned on first Lock
+}
+
+// lockID lazily assigns the monitor lock id (ids start at 1, so the
+// zero value means unassigned).
+func (m *Mutex) lockID(e *engine) int64 {
+	if id := m.id.Load(); id != 0 {
+		return id
+	}
+	m.id.CompareAndSwap(0, e.lockID())
+	return m.id.Load()
+}
+
+// Lock locks the mutex and reports the acquisition.
+func (m *Mutex) Lock() {
+	m.mu.Lock()
+	e := current()
+	if g := e.cur(); g != nil {
+		g.th.Acquire(int(m.lockID(e)))
+	} else {
+		e.orphans.Add(1)
+	}
+}
+
+// TryLock tries to lock the mutex, reporting the acquisition on
+// success.
+func (m *Mutex) TryLock() bool {
+	if !m.mu.TryLock() {
+		return false
+	}
+	e := current()
+	if g := e.cur(); g != nil {
+		g.th.Acquire(int(m.lockID(e)))
+	} else {
+		e.orphans.Add(1)
+	}
+	return true
+}
+
+// Unlock reports the release and unlocks the mutex.
+func (m *Mutex) Unlock() {
+	e := current()
+	if g := e.cur(); g != nil {
+		g.th.Release(int(m.lockID(e)))
+	} else {
+		e.orphans.Add(1)
+	}
+	m.mu.Unlock()
+}
+
+// RWMutex is a drop-in sync.RWMutex. Read-locks are modeled as
+// acquiring the same monitor lock as write-locks: reader/reader pairs
+// cannot race regardless, and reader/writer or writer/writer pairs
+// share the lock in both models, so verdicts agree with the
+// happens-before detector. (The one divergence: two goroutines both
+// WRITING under RLock — a program bug `go test -race` flags but this
+// model does not. The corpus pins the supported patterns.)
+type RWMutex struct {
+	mu sync.RWMutex
+	id atomic.Int64
+}
+
+func (m *RWMutex) lockID(e *engine) int64 {
+	if id := m.id.Load(); id != 0 {
+		return id
+	}
+	m.id.CompareAndSwap(0, e.lockID())
+	return m.id.Load()
+}
+
+// Lock write-locks the mutex and reports the acquisition.
+func (m *RWMutex) Lock() {
+	m.mu.Lock()
+	e := current()
+	if g := e.cur(); g != nil {
+		g.th.Acquire(int(m.lockID(e)))
+	} else {
+		e.orphans.Add(1)
+	}
+}
+
+// Unlock reports the release and write-unlocks the mutex.
+func (m *RWMutex) Unlock() {
+	e := current()
+	if g := e.cur(); g != nil {
+		g.th.Release(int(m.lockID(e)))
+	} else {
+		e.orphans.Add(1)
+	}
+	m.mu.Unlock()
+}
+
+// RLock read-locks the mutex and reports acquisition of the shared
+// lock id.
+func (m *RWMutex) RLock() {
+	m.mu.RLock()
+	e := current()
+	if g := e.cur(); g != nil {
+		g.th.Acquire(int(m.lockID(e)))
+	} else {
+		e.orphans.Add(1)
+	}
+}
+
+// RUnlock reports the release and read-unlocks the mutex.
+func (m *RWMutex) RUnlock() {
+	e := current()
+	if g := e.cur(); g != nil {
+		g.th.Release(int(m.lockID(e)))
+	} else {
+		e.orphans.Add(1)
+	}
+	m.mu.RUnlock()
+}
+
+// WaitGroup is a drop-in sync.WaitGroup whose Wait additionally closes
+// the fork-join structure: after the real Wait returns, the calling
+// goroutine's outstanding spawns are joined in reverse spawn order
+// (well-nested by construction — see the package comment). Children
+// spawned by OTHER goroutines are not joined here; the waiter-is-the-
+// spawner pattern is the one this mapping models.
+type WaitGroup struct {
+	wg sync.WaitGroup
+}
+
+// Add adds delta to the underlying WaitGroup counter.
+func (w *WaitGroup) Add(delta int) { w.wg.Add(delta) }
+
+// Done decrements the counter. The join edge is recorded by the waiter
+// (Wait), not here: the spawned goroutine's terminal thread is only
+// known once its function returns.
+func (w *WaitGroup) Done() { w.wg.Done() }
+
+// Wait blocks until the counter is zero, then joins the calling
+// goroutine's finished children (reverse spawn order; a child that is
+// not finishing — it was not part of this WaitGroup — stops the walk
+// and is left parallel).
+func (w *WaitGroup) Wait() {
+	w.wg.Wait()
+	e := current()
+	if g := e.cur(); g != nil {
+		e.joinFinished(g)
+	} else {
+		e.orphans.Add(1)
+	}
+}
