@@ -81,11 +81,21 @@ func cmdRewrite(args []string) {
 			continue
 		}
 		extra := ""
+		if f.ChanRewrites > 0 {
+			extra += fmt.Sprintf(", %d chan ops", f.ChanRewrites)
+		}
 		if f.MainHook {
-			extra = " +main-hook"
+			extra += " +main-hook"
 		}
 		fmt.Printf("%-40s %d reads, %d writes, %d go stmts, %d sync types%s\n",
 			f.Name, f.Reads, f.Writes, f.GoStmts, f.SyncRewrites, extra)
+	}
+	seenSkip := map[string]bool{}
+	for _, f := range res.Files {
+		if f.ChanSkipped != "" && !seenSkip[f.ChanSkipped] {
+			seenSkip[f.ChanSkipped] = true
+			fmt.Printf("channels left raw: %s\n", f.ChanSkipped)
+		}
 	}
 	fmt.Printf("shadow module %q at %s (%d/%d files rewritten)\n",
 		res.Module, res.OutDir, res.Changed(), len(res.Files))

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 	"sort"
 	"time"
 
@@ -167,8 +168,8 @@ func cmdReplay(args []string) error {
 	}
 	el := time.Since(start)
 	fmt.Printf("replayed %s through %s in %v\n", fs.Arg(0), *backend, el.Round(time.Microsecond))
-	fmt.Printf("threads=%d forks=%d joins=%d accesses=%d queries=%d\n",
-		rep.Threads, rep.Forks, rep.Joins, rep.Accesses, rep.Queries)
+	fmt.Printf("threads=%d forks=%d joins=%d puts=%d gets=%d accesses=%d queries=%d\n",
+		rep.Threads, rep.Forks, rep.Joins, rep.Puts, rep.Gets, rep.Accesses, rep.Queries)
 	fmt.Printf("races=%d on locations %v\n", len(rep.Races), rep.Locations)
 	if *verbose {
 		for i, r := range rep.Races {
@@ -311,7 +312,7 @@ func cmdDiff(args []string) error {
 			return fmt.Errorf("%s: event %d: %w", fs.Arg(0), i, erra)
 		case errb != nil:
 			return fmt.Errorf("%s: event %d: %w", fs.Arg(1), i, errb)
-		case eva != evb:
+		case !reflect.DeepEqual(eva, evb): // Event holds a token slice, so == does not apply
 			return fmt.Errorf("traces diverge at event %d:\n  %s: %v\n  %s: %v",
 				i, fs.Arg(0), eva, fs.Arg(1), evb)
 		}

@@ -14,10 +14,10 @@ type sharing struct {
 	// identifier naming one is itself an instrumentable access, as is
 	// any element/field/deref reached through it.
 	direct map[*types.Var]bool
-	// indirect holds pointer- and slice-typed parameters (including
-	// receivers): the parameter cell is a private copy, but memory
-	// reached THROUGH it (deref, index, field) is shared with the
-	// caller.
+	// indirect holds pointer-, slice-, and map-typed parameters
+	// (including receivers): the parameter cell is a private copy, but
+	// memory reached THROUGH it (deref, index, field, map element) is
+	// shared with the caller.
 	indirect map[*types.Var]bool
 }
 
@@ -60,7 +60,7 @@ func analyze(info *types.Info, pkg *types.Package, files []*ast.File, allow []st
 					return true
 				})
 			case *ast.FuncDecl:
-				// Pointer/slice parameters and receivers: accesses
+				// Pointer/slice/map parameters and receivers: accesses
 				// through them reach caller-visible memory.
 				addIndirect := func(fl *ast.FieldList) {
 					if fl == nil {
@@ -73,7 +73,7 @@ func analyze(info *types.Info, pkg *types.Package, files []*ast.File, allow []st
 								continue
 							}
 							switch v.Type().Underlying().(type) {
-							case *types.Pointer, *types.Slice:
+							case *types.Pointer, *types.Slice, *types.Map:
 								sh.addIndirect(v)
 							}
 						}
@@ -144,7 +144,7 @@ func isSyncPrimitive(t types.Type) bool {
 		return true // Mutex, RWMutex, WaitGroup, Once, Cond, Map, Pool
 	case "repro/sp/spsync":
 		switch obj.Name() {
-		case "Mutex", "RWMutex", "WaitGroup":
+		case "Mutex", "RWMutex", "WaitGroup", "Chan":
 			return true
 		}
 	}
@@ -175,8 +175,11 @@ func definesNew(info *types.Info, id *ast.Ident) bool {
 }
 
 // sideEffectFree reports whether re-evaluating e (inside an injected
-// &expr argument) is safe: identifiers, literals, field selections, and
-// parenthesized forms thereof.
+// &expr argument) is safe: identifiers, literals, field selections,
+// indexing, dereferences, and parenthesized forms thereof. Calls and
+// receives are the effects that matter; a deref or index can still
+// panic, but only in an execution where the original statement panics
+// at the same values.
 func sideEffectFree(e ast.Expr) bool {
 	switch e := e.(type) {
 	case *ast.Ident:
@@ -187,6 +190,10 @@ func sideEffectFree(e ast.Expr) bool {
 		return sideEffectFree(e.X)
 	case *ast.SelectorExpr:
 		return sideEffectFree(e.X)
+	case *ast.StarExpr:
+		return sideEffectFree(e.X)
+	case *ast.IndexExpr:
+		return sideEffectFree(e.X) && sideEffectFree(e.Index)
 	case *ast.UnaryExpr:
 		return e.Op != token.ARROW && sideEffectFree(e.X)
 	case *ast.BinaryExpr:

@@ -1,0 +1,597 @@
+package instrument
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// This file is the channel-rewrite pass: it retypes `chan T` onto
+// *spsync.Chan[T] and maps every channel operation onto the drop-in's
+// methods, so the runtime records the Go memory model's channel edges
+// (see spsync.Chan). It runs on the pristine, type-checked tree BEFORE
+// access instrumentation: the statement rewriter then sees ordinary
+// method calls and injects its announcements around them as usual.
+//
+// The pass is all-or-nothing per package. Rewriting changes the static
+// type of every channel, which is only sound when the package is the
+// whole world for those channels: no select statements (Chan has no
+// case-capable receive), no directional channel types, no locally named
+// channel-carrying types, and no channel crossing the package boundary
+// in either direction (arguments to or results from foreign functions,
+// exported names, conversions, type assertions). When any of those
+// appear the pass leaves every channel alone — channels then contribute
+// no edges, exactly the pre-existing documented gap — and records the
+// reason in the file stats.
+
+// chanIneligible scans one type-checked package for constructs the
+// channel rewrite cannot handle faithfully. It returns "" when the
+// rewrite is safe, or a short reason when channels must be left raw.
+func chanIneligible(info *types.Info, pkg *types.Package, files []*ast.File) string {
+	// Exported package-scope names with a channel in their type leak
+	// the rewritten type to importers. A main package has none.
+	if pkg.Name() != "main" {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if obj != nil && obj.Exported() && typeHasChan(obj.Type()) {
+				return fmt.Sprintf("exported %s has a channel in its type", name)
+			}
+		}
+	}
+	reason := ""
+	disqualify := func(r string) {
+		if reason == "" {
+			reason = r
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if reason != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				disqualify("select statement")
+			case *ast.ChanType:
+				if n.Dir != ast.SEND|ast.RECV {
+					disqualify("directional channel type")
+				}
+			case *ast.TypeSpec:
+				// A named channel-carrying type would have to be
+				// renamed at every use; make(Named) could not stay a
+				// literal rewrite.
+				if exprHasChanType(n.Type) {
+					disqualify(fmt.Sprintf("type %s is declared over a channel", n.Name.Name))
+				}
+			case *ast.TypeAssertExpr:
+				if n.Type != nil {
+					if tv, ok := info.Types[n.Type]; ok && typeHasChan(tv.Type) {
+						disqualify("type assertion on a channel-carrying type")
+					}
+				}
+			case *ast.RangeStmt:
+				// The range rewrite re-evaluates the operand per
+				// iteration, so it must be effect-free.
+				if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && !sideEffectFree(n.X) {
+						disqualify("range over a channel expression with side effects")
+					}
+				}
+			case *ast.Ident:
+				// Any reference to a foreign object whose type carries a
+				// channel (time.After, a foreign var, a foreign method)
+				// means channel values flow across the boundary.
+				if obj := info.Uses[n]; obj != nil && obj.Pkg() != nil && obj.Pkg() != pkg && typeHasChan(obj.Type()) {
+					disqualify(fmt.Sprintf("%s.%s carries a channel across the package boundary", obj.Pkg().Name(), obj.Name()))
+				}
+			case *ast.CallExpr:
+				chanCallCheck(info, pkg, n, disqualify)
+			}
+			return true
+		})
+	}
+	return reason
+}
+
+// chanCallCheck applies the call-shaped disqualifiers: conversions to
+// channel-carrying types, make of a non-literal channel type, and
+// channel values passed to or returned from calls that do not resolve
+// to a package-local function.
+func chanCallCheck(info *types.Info, pkg *types.Package, call *ast.CallExpr, disqualify func(string)) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if typeHasChan(tv.Type) {
+			disqualify("conversion to a channel-carrying type")
+		}
+		return
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if b.Name() == "make" && len(call.Args) > 0 {
+				if _, lit := unparen(call.Args[0]).(*ast.ChanType); !lit {
+					if tv, ok := info.Types[call.Args[0]]; ok && typeHasChan(tv.Type) {
+						disqualify("make of a non-literal channel type")
+					}
+				}
+			}
+			return
+		}
+	}
+	callee := calleeObject(info, call.Fun)
+	if callee != nil && callee.Pkg() == pkg {
+		return // package-local: both sides of the signature are rewritten
+	}
+	for _, a := range call.Args {
+		if tv, ok := info.Types[a]; ok && typeHasChan(tv.Type) {
+			disqualify("channel passed outside the package")
+			return
+		}
+	}
+	if tv, ok := info.Types[call]; ok && typeHasChan(tv.Type) {
+		disqualify("channel received from outside the package")
+	}
+}
+
+// calleeObject resolves the object a call's function expression names,
+// or nil for dynamic calls (func values, indexed tables).
+func calleeObject(info *types.Info, fun ast.Expr) types.Object {
+	switch fun := unparen(fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		return calleeObject(info, fun.X)
+	case *ast.IndexListExpr:
+		return calleeObject(info, fun.X)
+	}
+	return nil
+}
+
+// typeHasChan reports whether a channel type occurs anywhere in t.
+func typeHasChan(t types.Type) bool {
+	return hasChan(t, map[types.Type]bool{})
+}
+
+func hasChan(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		return hasChan(t.Elem(), seen)
+	case *types.Slice:
+		return hasChan(t.Elem(), seen)
+	case *types.Array:
+		return hasChan(t.Elem(), seen)
+	case *types.Map:
+		return hasChan(t.Key(), seen) || hasChan(t.Elem(), seen)
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if hasChan(t.At(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if hasChan(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Signature:
+		return hasChan(t.Params(), seen) || hasChan(t.Results(), seen)
+	case *types.Interface:
+		for i := 0; i < t.NumMethods(); i++ {
+			if hasChan(t.Method(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Named:
+		for i := 0; i < t.TypeArgs().Len(); i++ {
+			if hasChan(t.TypeArgs().At(i), seen) {
+				return true
+			}
+		}
+		return hasChan(t.Underlying(), seen)
+	case *types.Alias:
+		return hasChan(types.Unalias(t), seen)
+	}
+	return false
+}
+
+// exprHasChanType reports whether a chan type literal occurs anywhere
+// in the type expression.
+func exprHasChanType(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ChanType); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// packageUsesChans reports whether the package mentions channels at all
+// — used to attach the skip reason only where it means something.
+func packageUsesChans(files []*ast.File) bool {
+	for _, f := range files {
+		used := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ChanType, *ast.SendStmt, *ast.SelectStmt:
+				used = true
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					used = true
+				}
+			}
+			return !used
+		})
+		if used {
+			return true
+		}
+	}
+	return false
+}
+
+// rewriteChans runs the pass over one package. It returns the number of
+// rewritten channel constructs per file and, when the pass had to back
+// off, the reason ("" when it ran or there was nothing to do).
+func rewriteChans(info *types.Info, pkg *types.Package, files []*ast.File) (map[*ast.File]int, string) {
+	counts := map[*ast.File]int{}
+	if reason := chanIneligible(info, pkg, files); reason != "" {
+		if packageUsesChans(files) {
+			return counts, reason
+		}
+		return counts, ""
+	}
+	p := &chanPlan{
+		info:   info,
+		sends:  map[*ast.SendStmt]bool{},
+		recvs:  map[*ast.UnaryExpr]bool{},
+		recv2:  map[*ast.AssignStmt]bool{},
+		ranges: map[*ast.RangeStmt]bool{},
+		calls:  map[*ast.CallExpr]string{},
+	}
+	for _, f := range files {
+		p.scan(f)
+	}
+	for _, f := range files {
+		base := p.count
+		rewriteTree(f, p.expr, p.stmt)
+		counts[f] = p.count - base
+	}
+	return counts, ""
+}
+
+// chanPlan is the two-phase state: scan records, by node identity and
+// while the type information still matches the tree, which nodes are
+// channel operations; the rewrite phase then consults the maps while
+// mutating bottom-up (children may already be rewritten by the time the
+// parent is visited, so type lookups on them would miss).
+type chanPlan struct {
+	info   *types.Info
+	sends  map[*ast.SendStmt]bool
+	recvs  map[*ast.UnaryExpr]bool
+	recv2  map[*ast.AssignStmt]bool
+	ranges map[*ast.RangeStmt]bool
+	calls  map[*ast.CallExpr]string // "make", "Close", "Len", "Cap"
+	count  int
+	tmp    int // __sp_v / __sp_ok temporary counter
+}
+
+func (p *chanPlan) isChan(e ast.Expr) bool {
+	tv, ok := p.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// scan records every channel operation in one file. ast.Inspect visits
+// parents first, so a comma-ok assignment claims its receive before the
+// receive's own case sees it.
+func (p *chanPlan) scan(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if p.isChan(n.Chan) {
+				p.sends[n] = true
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if u, ok := unparen(n.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW && p.isChan(u.X) {
+					p.recv2[n] = true
+					p.recvs[u] = false // consumed by the comma-ok form
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && p.isChan(n.X) {
+				if _, claimed := p.recvs[n]; !claimed {
+					p.recvs[n] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if p.isChan(n.X) {
+				p.ranges[n] = true
+			}
+		case *ast.CallExpr:
+			id, ok := unparen(n.Fun).(*ast.Ident)
+			if !ok {
+				break
+			}
+			b, ok := p.info.Uses[id].(*types.Builtin)
+			if !ok {
+				break
+			}
+			switch b.Name() {
+			case "make":
+				if len(n.Args) > 0 {
+					if _, lit := unparen(n.Args[0]).(*ast.ChanType); lit {
+						p.calls[n] = "make"
+					}
+				}
+			case "close":
+				if len(n.Args) == 1 {
+					p.calls[n] = "Close" // close applies only to channels
+				}
+			case "len":
+				if len(n.Args) == 1 && p.isChan(n.Args[0]) {
+					p.calls[n] = "Len"
+				}
+			case "cap":
+				if len(n.Args) == 1 && p.isChan(n.Args[0]) {
+					p.calls[n] = "Cap"
+				}
+			}
+		}
+		return true
+	})
+}
+
+// expr rewrites one expression node (children already rewritten).
+func (p *chanPlan) expr(e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.ChanType:
+		// chan T → *spsync.Chan[T]. The element type expression was
+		// already rewritten in place (chan chan T nests correctly).
+		p.count++
+		return &ast.StarExpr{X: &ast.IndexExpr{
+			X:     &ast.SelectorExpr{X: ast.NewIdent("spsync"), Sel: ast.NewIdent("Chan")},
+			Index: e.Value,
+		}}
+	case *ast.UnaryExpr:
+		if p.recvs[e] {
+			p.count++
+			return chanMethod(e.X, "Recv")
+		}
+	case *ast.CallExpr:
+		switch p.calls[e] {
+		case "make":
+			// The type argument has already become *spsync.Chan[T];
+			// pull T back out and call the constructor.
+			elem := chanElemOf(e.Args[0])
+			if elem == nil {
+				return e
+			}
+			size := ast.Expr(&ast.BasicLit{Kind: token.INT, Value: "0"})
+			if len(e.Args) > 1 {
+				size = e.Args[1]
+			}
+			p.count++
+			return &ast.CallExpr{
+				Fun: &ast.IndexExpr{
+					X:     &ast.SelectorExpr{X: ast.NewIdent("spsync"), Sel: ast.NewIdent("NewChan")},
+					Index: elem,
+				},
+				Args: []ast.Expr{size},
+			}
+		case "Close", "Len", "Cap":
+			p.count++
+			return chanMethod(e.Args[0], p.calls[e])
+		}
+	}
+	return e
+}
+
+// stmt rewrites one statement node (children already rewritten).
+func (p *chanPlan) stmt(s ast.Stmt) ast.Stmt {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		if p.sends[s] {
+			p.count++
+			return &ast.ExprStmt{X: chanMethod(s.Chan, "Send", s.Value)}
+		}
+	case *ast.AssignStmt:
+		if p.recv2[s] {
+			u := unparen(s.Rhs[0]).(*ast.UnaryExpr)
+			p.count++
+			s.Rhs = []ast.Expr{chanMethod(u.X, "Recv2")}
+		}
+	case *ast.RangeStmt:
+		if p.ranges[s] {
+			p.count++
+			return p.rangeLoop(s)
+		}
+	}
+	return s
+}
+
+// rangeLoop lowers `for v := range ch { body }` onto Recv2:
+//
+//	for {
+//		__sp_v0, __sp_ok0 := ch.Recv2()
+//		if !__sp_ok0 {
+//			break
+//		}
+//		v := __sp_v0
+//		_ = v
+//		body...
+//	}
+//
+// break/continue (labeled or not) keep their targets: the replacement
+// is still a for statement in the same position. The `_ = v` keeps a
+// body that ignores the range variable compiling (range clause
+// variables are exempt from the unused check; ordinary := is not).
+func (p *chanPlan) rangeLoop(s *ast.RangeStmt) ast.Stmt {
+	vName := fmt.Sprintf("__sp_v%d", p.tmp)
+	okName := fmt.Sprintf("__sp_ok%d", p.tmp)
+	p.tmp++
+	key := s.Key
+	if id, ok := key.(*ast.Ident); key == nil || (ok && id.Name == "_") {
+		key = nil
+	}
+	first := ast.NewIdent("_")
+	if key != nil {
+		first = ast.NewIdent(vName)
+	}
+	list := []ast.Stmt{
+		&ast.AssignStmt{
+			Lhs: []ast.Expr{first, ast.NewIdent(okName)},
+			Tok: token.DEFINE,
+			Rhs: []ast.Expr{chanMethod(s.X, "Recv2")},
+		},
+		&ast.IfStmt{
+			Cond: &ast.UnaryExpr{Op: token.NOT, X: ast.NewIdent(okName)},
+			Body: &ast.BlockStmt{List: []ast.Stmt{&ast.BranchStmt{Tok: token.BREAK}}},
+		},
+	}
+	if key != nil {
+		list = append(list, &ast.AssignStmt{
+			Lhs: []ast.Expr{key},
+			Tok: s.Tok,
+			Rhs: []ast.Expr{ast.NewIdent(vName)},
+		})
+		if s.Tok == token.DEFINE {
+			list = append(list, &ast.AssignStmt{
+				Lhs: []ast.Expr{ast.NewIdent("_")},
+				Tok: token.ASSIGN,
+				Rhs: []ast.Expr{ast.NewIdent(vName)},
+			})
+		}
+	}
+	list = append(list, s.Body.List...)
+	return &ast.ForStmt{Body: &ast.BlockStmt{List: list}}
+}
+
+// chanMethod builds recv.Name(args...), parenthesizing receivers the
+// printer would otherwise bind wrongly (e.g. *p → (*p).Send).
+func chanMethod(recv ast.Expr, name string, args ...ast.Expr) *ast.CallExpr {
+	switch recv.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.CallExpr, *ast.ParenExpr:
+	default:
+		recv = &ast.ParenExpr{X: recv}
+	}
+	return &ast.CallExpr{
+		Fun:  &ast.SelectorExpr{X: recv, Sel: ast.NewIdent(name)},
+		Args: args,
+	}
+}
+
+// chanElemOf unwraps the *spsync.Chan[T] the ChanType rule produced and
+// returns T, or nil if the shape is not what the rule emits.
+func chanElemOf(e ast.Expr) ast.Expr {
+	star, ok := unparen(e).(*ast.StarExpr)
+	if !ok {
+		return nil
+	}
+	idx, ok := star.X.(*ast.IndexExpr)
+	if !ok {
+		return nil
+	}
+	return idx.Index
+}
+
+// --- generic bottom-up tree rewriting ---
+
+var (
+	exprIface = reflect.TypeOf((*ast.Expr)(nil)).Elem()
+	stmtIface = reflect.TypeOf((*ast.Stmt)(nil)).Elem()
+)
+
+// rewriteTree walks n's subtree bottom-up, applying exprF to every node
+// held in an ast.Expr-typed slot and stmtF to every node held in an
+// ast.Stmt-typed slot, replacing the slot when the function returns a
+// different node. Nodes stored in concretely typed fields (*ast.Ident,
+// *ast.BlockStmt, ...) are traversed but never replaced — which is
+// exactly right: no rewrite turns an identifier or a block into
+// something else. This is reflection over the ast package's struct
+// shapes, the same traversal contract as golang.org/x/tools astutil.
+func rewriteTree(n ast.Node, exprF func(ast.Expr) ast.Expr, stmtF func(ast.Stmt) ast.Stmt) {
+	if n == nil {
+		return
+	}
+	v := reflect.ValueOf(n)
+	if v.Kind() != reflect.Pointer || v.IsNil() {
+		return
+	}
+	sv := v.Elem()
+	if sv.Kind() != reflect.Struct {
+		return
+	}
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		switch f.Kind() {
+		case reflect.Interface:
+			if f.IsNil() {
+				continue
+			}
+			nd, ok := f.Interface().(ast.Node)
+			if !ok {
+				continue
+			}
+			rewriteTree(nd, exprF, stmtF)
+			switch f.Type() {
+			case exprIface:
+				if nx := exprF(nd.(ast.Expr)); nx != nd {
+					f.Set(reflect.ValueOf(nx))
+				}
+			case stmtIface:
+				if nx := stmtF(nd.(ast.Stmt)); nx != nd {
+					f.Set(reflect.ValueOf(nx))
+				}
+			}
+		case reflect.Slice:
+			et := f.Type().Elem()
+			if et.Kind() != reflect.Interface && et.Kind() != reflect.Pointer {
+				continue
+			}
+			for j := 0; j < f.Len(); j++ {
+				el := f.Index(j)
+				if (el.Kind() == reflect.Interface || el.Kind() == reflect.Pointer) && el.IsNil() {
+					continue
+				}
+				nd, ok := el.Interface().(ast.Node)
+				if !ok {
+					break // not a node slice (e.g. no such field today)
+				}
+				rewriteTree(nd, exprF, stmtF)
+				switch et {
+				case exprIface:
+					if nx := exprF(nd.(ast.Expr)); nx != nd {
+						el.Set(reflect.ValueOf(nx))
+					}
+				case stmtIface:
+					if nx := stmtF(nd.(ast.Stmt)); nx != nd {
+						el.Set(reflect.ValueOf(nx))
+					}
+				}
+			}
+		case reflect.Pointer:
+			if f.IsNil() {
+				continue
+			}
+			if nd, ok := f.Interface().(ast.Node); ok {
+				rewriteTree(nd, exprF, stmtF)
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package instrument
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// typecheckOutput re-parses and type-checks rewritten source against
+// the real spsync package — the invariant every chan rewrite must keep.
+func typecheckOutput(t *testing.T, out string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "prog.go", []byte(out), parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("rewritten source does not parse: %v\n%s", err, out)
+	}
+	if _, _, err := checkPackage(fset, f.Name.Name, []*ast.File{f}); err != nil {
+		t.Fatalf("rewritten output does not type-check: %v\n%s", err, out)
+	}
+}
+
+// TestChanRewriteBasicOps pins every channel operation the pass maps
+// onto *spsync.Chan[T] methods.
+func TestChanRewriteBasicOps(t *testing.T) {
+	src := `package main
+
+func main() {
+	ch := make(chan int, 2)
+	ch <- 1
+	v := <-ch
+	w, ok := <-ch
+	_ = len(ch)
+	_ = cap(ch)
+	close(ch)
+	_, _, _ = v, w, ok
+}
+`
+	out, st := rewrite(t, src)
+	for _, want := range []string{
+		"spsync.NewChan[int](2)",
+		"ch.Send(1)",
+		"v := ch.Recv()",
+		"w, ok := ch.Recv2()",
+		"ch.Len()",
+		"ch.Cap()",
+		"ch.Close()",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if st.ChanRewrites == 0 {
+		t.Fatalf("ChanRewrites = 0, want > 0: %+v", st)
+	}
+	if st.ChanSkipped != "" {
+		t.Fatalf("ChanSkipped = %q, want empty", st.ChanSkipped)
+	}
+	typecheckOutput(t, out)
+}
+
+// TestChanRewriteUnbuffered: make with no size becomes capacity 0.
+func TestChanRewriteUnbuffered(t *testing.T) {
+	src := `package main
+
+func main() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+`
+	out, _ := rewrite(t, src)
+	if !strings.Contains(out, "spsync.NewChan[struct{}](0)") {
+		t.Fatalf("unbuffered make not rewritten:\n%s", out)
+	}
+	if !strings.Contains(out, "done.Recv()") {
+		t.Fatalf("bare receive statement not rewritten:\n%s", out)
+	}
+	typecheckOutput(t, out)
+}
+
+// TestChanRewriteRange: range-over-channel is lowered onto Recv2 with
+// the loop structure (and any label on it) preserved.
+func TestChanRewriteRange(t *testing.T) {
+	src := `package main
+
+func main() {
+	ch := make(chan int, 4)
+	ch <- 1
+	close(ch)
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	_ = sum
+}
+`
+	out, _ := rewrite(t, src)
+	for _, want := range []string{".Recv2()", "break"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("range lowering missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "range ch") {
+		t.Fatalf("range over channel left behind:\n%s", out)
+	}
+	typecheckOutput(t, out)
+}
+
+// TestChanRewriteDeclaredType: a var declared with a channel type (not
+// via make) gets the type rewritten too, so the file stays consistent.
+func TestChanRewriteDeclaredType(t *testing.T) {
+	src := `package main
+
+func consume(in chan int) int { return <-in }
+
+func main() {
+	var ch chan int
+	ch = make(chan int, 1)
+	ch <- 9
+	_ = consume(ch)
+}
+`
+	out, _ := rewrite(t, src)
+	if !strings.Contains(out, "var ch *spsync.Chan[int]") {
+		t.Fatalf("declared chan type not rewritten:\n%s", out)
+	}
+	if !strings.Contains(out, "consume(in *spsync.Chan[int])") {
+		t.Fatalf("parameter chan type not rewritten:\n%s", out)
+	}
+	typecheckOutput(t, out)
+}
+
+// TestChanOptOutSelect: select needs multi-way readiness the drop-in
+// cannot provide; the whole package keeps its raw channels.
+func TestChanOptOutSelect(t *testing.T) {
+	src := `package main
+
+func main() {
+	a := make(chan int, 1)
+	b := make(chan int, 1)
+	a <- 1
+	select {
+	case v := <-a:
+		_ = v
+	case b <- 2:
+	}
+}
+`
+	out, st := rewrite(t, src)
+	if st.ChanRewrites != 0 {
+		t.Fatalf("select-using package was rewritten: %+v", st)
+	}
+	if st.ChanSkipped == "" || !strings.Contains(st.ChanSkipped, "select") {
+		t.Fatalf("ChanSkipped = %q, want a select reason", st.ChanSkipped)
+	}
+	if !strings.Contains(out, "make(chan int, 1)") {
+		t.Fatalf("raw channels not preserved:\n%s", out)
+	}
+}
+
+// TestChanOptOutDirectional: send-only/receive-only channel types have
+// no spsync counterpart; the package opts out.
+func TestChanOptOutDirectional(t *testing.T) {
+	src := `package main
+
+func produce(out chan<- int) { out <- 1 }
+
+func main() {
+	ch := make(chan int, 1)
+	produce(ch)
+	<-ch
+}
+`
+	_, st := rewrite(t, src)
+	if st.ChanRewrites != 0 || st.ChanSkipped == "" {
+		t.Fatalf("directional package not opted out: %+v", st)
+	}
+}
+
+// TestChanOptOutForeignChannel: a channel that crosses the package
+// boundary (here: produced by time.After) must stay a builtin channel.
+func TestChanOptOutForeignChannel(t *testing.T) {
+	src := `package main
+
+import "time"
+
+func main() {
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+	<-time.After(time.Millisecond)
+}
+`
+	_, st := rewrite(t, src)
+	if st.ChanRewrites != 0 || st.ChanSkipped == "" {
+		t.Fatalf("foreign-channel package not opted out: %+v", st)
+	}
+}
+
+// TestChanRewritePipelineTypechecks: a realistic goroutine pipeline
+// comes out the other side still a valid, type-correct program.
+func TestChanRewritePipelineTypechecks(t *testing.T) {
+	src := `package main
+
+import "fmt"
+
+func main() {
+	nums := make(chan int, 8)
+	squares := make(chan int, 8)
+	go func() {
+		for i := 0; i < 8; i++ {
+			nums <- i
+		}
+		close(nums)
+	}()
+	go func() {
+		for n := range nums {
+			squares <- n * n
+		}
+		close(squares)
+	}()
+	total := 0
+	for s := range squares {
+		total += s
+	}
+	fmt.Println(total)
+}
+`
+	out, st := rewrite(t, src)
+	if st.ChanRewrites == 0 {
+		t.Fatalf("pipeline not rewritten: %+v", st)
+	}
+	if strings.Contains(out, "chan int") {
+		t.Fatalf("raw chan type left behind:\n%s", out)
+	}
+	typecheckOutput(t, out)
+}

@@ -72,7 +72,7 @@ func TestCorpusSerializedReplayAllBackends(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs subprocesses")
 	}
-	for _, prog := range []string{"counter_racy", "fanout_clean"} {
+	for _, prog := range []string{"counter_racy", "fanout_clean", "chan_pipeline_clean"} {
 		prog := prog
 		t.Run(prog, func(t *testing.T) {
 			t.Parallel()
@@ -99,6 +99,9 @@ func TestCorpusSerializedReplayAllBackends(t *testing.T) {
 			if _, _, err := RunInstrumented(bin, work, "sp-order",
 				"SPSYNC_SERIALIZE=1", "SPSYNC_TRACE="+tr2); err != nil {
 				t.Fatal(err)
+			}
+			if prog == "chan_pipeline_clean" && (rep1.Puts == 0 || rep1.Gets == 0) {
+				t.Fatalf("channel pipeline recorded no edge events: puts=%d gets=%d", rep1.Puts, rep1.Gets)
 			}
 			d1, d2 := mustRead(t, tr1), mustRead(t, tr2)
 			if string(d1) != string(d2) {
@@ -128,4 +131,34 @@ func mustRead(t *testing.T, path string) []byte {
 		t.Fatal(err)
 	}
 	return data
+}
+
+// TestChanPipelineRacySite pins the acceptance criterion that the racy
+// pipeline twin is flagged at the exact source line of the uncovered
+// store (the one line that differs from chan_pipeline_clean).
+func TestChanPipelineRacySite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	corpus, err := filepath.Abs("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := SelftestProgram(filepath.Join(corpus, "chan_pipeline_racy"), t.TempDir(), "sp-hybrid", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.SPRacy || !v.RaceRacy {
+		t.Fatalf("racy pipeline twin not flagged: sp=%v go-race=%v", v.SPRacy, v.RaceRacy)
+	}
+	const wantSite = "main.go:20" // the post-send store into cells[i]
+	found := false
+	for _, r := range v.Report.Races {
+		if r.FirstSite == wantSite || r.SecondSite == wantSite {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no race anchored at %s: %+v", wantSite, v.Report.Races)
+	}
 }

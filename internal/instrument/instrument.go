@@ -1,10 +1,13 @@
 // Package instrument rewrites ordinary Go source onto the sp/spsync
 // monitoring surface: `go` statements become spsync.Go, sync.Mutex /
-// sync.RWMutex / sync.WaitGroup become their spsync drop-ins, func main
-// gains the monitor lifecycle hook, and every statement that touches a
-// variable the escape heuristic classifies as shared gets spsync.Read /
-// spsync.Write announcements injected around it (reads before the
-// statement, writes after). The rewritten tree is emitted into a shadow
+// sync.RWMutex / sync.WaitGroup become their spsync drop-ins, channels
+// become *spsync.Chan[T] with every make/send/receive/close/range
+// mapped onto its methods (all-or-nothing per package — see chans.go
+// for when the pass backs off), func main gains the monitor lifecycle
+// hook, and every statement that touches a variable the escape
+// heuristic classifies as shared gets spsync.Read / spsync.Write
+// announcements injected around it (reads before the statement, writes
+// after). The rewritten tree is emitted into a shadow
 // directory together with a go.mod that `replace`s the repro module, so
 // the instrumented program builds with plain `go build` and runs
 // against any registered sp backend.
@@ -56,6 +59,8 @@ type FileStats struct {
 	Writes       int    // injected spsync.Write calls
 	GoStmts      int    // go statements rewritten onto spsync.Go
 	SyncRewrites int    // sync.{Mutex,RWMutex,WaitGroup} retargeted
+	ChanRewrites int    // channel types and operations moved onto spsync.Chan
+	ChanSkipped  string // why the package's channels were left raw ("" = rewritten or none)
 	MainHook     bool   // defer spsync.Main()() injected
 }
 
@@ -136,7 +141,13 @@ func RewriteSource(filename string, src []byte, allow []string) ([]byte, FileSta
 		return nil, FileStats{}, err
 	}
 	sh := analyze(info, pkg, []*ast.File{f}, allow)
+	chanCounts, chanReason := rewriteChans(info, pkg, []*ast.File{f})
 	r := newRewriter(fset, info, sh)
+	r.stats.ChanRewrites = chanCounts[f]
+	r.stats.ChanSkipped = chanReason
+	if r.stats.ChanRewrites > 0 {
+		r.markChanged()
+	}
 	r.file(f)
 	st := r.stats
 	st.Name = filename
@@ -206,9 +217,15 @@ func instrumentPackage(dir, relDir string, allow []string) ([]fileResult, error)
 		return nil, fmt.Errorf("instrument: %s: %w", dir, err)
 	}
 	sh := analyze(info, pkg, files, allow)
+	chanCounts, chanReason := rewriteChans(info, pkg, files)
 	var out []fileResult
 	for i, f := range files {
 		r := newRewriter(fset, info, sh)
+		r.stats.ChanRewrites = chanCounts[f]
+		r.stats.ChanSkipped = chanReason
+		if r.stats.ChanRewrites > 0 {
+			r.markChanged()
+		}
 		r.file(f)
 		fr := fileResult{FileStats: r.stats, relDir: relDir, src: sources[i]}
 		fr.FileStats.Name = filepath.Join(relDir, names[i])

@@ -107,15 +107,13 @@ func (r *rewriter) stmt(s ast.Stmt) []ast.Stmt {
 	case *ast.IfStmt:
 		return r.ifStmt(s)
 	case *ast.ForStmt:
-		r.funcLitsIn(s.Init)
-		r.funcLitsIn(s.Cond)
-		r.funcLitsIn(s.Post)
-		r.block(s.Body)
-		return []ast.Stmt{s}
+		return r.forStmt(s)
 	case *ast.RangeStmt:
 		r.funcLitsIn(s.X)
 		r.block(s.Body)
-		return []ast.Stmt{s}
+		// The range operand is evaluated exactly once, before the loop:
+		// its shared reads get one announcement there.
+		return append(r.readCalls(r.collect(s.X, false)), s)
 	case *ast.SwitchStmt:
 		r.funcLitsIn(s.Init)
 		r.funcLitsIn(s.Tag)
@@ -150,12 +148,27 @@ func (r *rewriter) stmt(s ast.Stmt) []ast.Stmt {
 		}
 		return []ast.Stmt{s}
 	case *ast.LabeledStmt:
-		// The label must keep covering the whole expansion so branch
-		// and goto targets still execute the injected announcements:
-		// it is re-attached to the first statement of the sequence.
+		// For a branchable statement (loop, switch) the label must stay
+		// on that statement: `break L` / `continue L` require L to label
+		// the loop itself, not an injected announcement. Announcements
+		// hoisted above the label are then skipped by a goto — a missed
+		// read, never a false race. For everything else the label is
+		// re-attached to the first statement of the expansion so goto
+		// targets still execute the injected announcements.
+		orig := s.Stmt
 		inner := r.stmt(s.Stmt)
-		s.Stmt = inner[0]
-		inner[0] = s
+		idx := 0
+		switch orig.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			for i, st := range inner {
+				if st == orig {
+					idx = i
+					break
+				}
+			}
+		}
+		s.Stmt = inner[idx]
+		inner[idx] = s
 		return inner
 	case *ast.GoStmt:
 		return r.goStmt(s)
@@ -209,10 +222,113 @@ func (r *rewriter) ifStmt(s *ast.IfStmt) []ast.Stmt {
 	return append(r.readCalls(reads), s)
 }
 
+// forStmt instruments the loop clauses that used to be skipped. The
+// condition is re-evaluated every iteration and the post statement runs
+// every iteration, so their accesses are announced at the END of the
+// body (a `continue` skips them — a missed announcement, never a false
+// race; and ordering within one serial block is irrelevant to the SP
+// relation, so announcing the post's accesses just before it runs is
+// exact). The condition's FIRST evaluation happens before the loop; its
+// reads are hoisted there, but only when there is no init statement
+// whose variables would be referenced out of scope.
+func (r *rewriter) forStmt(s *ast.ForStmt) []ast.Stmt {
+	r.funcLitsIn(s.Init)
+	r.funcLitsIn(s.Cond)
+	r.funcLitsIn(s.Post)
+	r.block(s.Body)
+	// Variables the loop's := init declares are per-iteration (Go 1.22
+	// semantics): the cond and post touch a hidden loop variable no
+	// closure can observe, while the injected announcements — living in
+	// the body — would address the current iteration's copy. Announcing
+	// them would manufacture races against goroutines holding earlier
+	// copies, so accesses rooted at loop-declared variables are dropped;
+	// accesses to anything else in cond/post are real and kept.
+	loopVars := map[*types.Var]bool{}
+	if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+		for _, l := range init.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if v, ok := r.info.Defs[id].(*types.Var); ok {
+					loopVars[v] = true
+				}
+			}
+		}
+	}
+	notLoopVar := func(a access) bool { return a.root == nil || !loopVars[a.root] }
+	var tail []ast.Stmt
+	tail = append(tail, r.postAccesses(s.Post, loopVars)...)
+	tail = append(tail, r.readCalls(filterAccesses(r.collect(s.Cond, false), notLoopVar))...)
+	if len(tail) > 0 {
+		s.Body.List = append(s.Body.List, tail...)
+	}
+	var pre []access
+	if s.Init == nil {
+		pre = r.collect(s.Cond, false)
+	}
+	return append(r.readCalls(pre), s)
+}
+
+// filterAccesses keeps the accesses keep() approves of.
+func filterAccesses(accs []access, keep func(access) bool) []access {
+	var out []access
+	for _, a := range accs {
+		if keep(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// postAccesses returns the announcements for a for-loop's post
+// statement: the statement itself cannot be expanded (the post slot
+// holds exactly one simple statement), so its reads and writes are
+// announced together at the body's end.
+func (r *rewriter) postAccesses(post ast.Stmt, loopVars map[*types.Var]bool) []ast.Stmt {
+	keep := func(a access) bool { return a.root == nil || !loopVars[a.root] }
+	switch p := post.(type) {
+	case *ast.IncDecStmt:
+		reads := r.collect(p.X, true)
+		acc := r.classify(p.X)
+		if acc != nil && keep(*acc) {
+			reads = append(reads, *acc)
+		} else {
+			acc = nil
+		}
+		out := r.readCalls(filterAccesses(reads, keep))
+		if acc != nil {
+			out = append(out, r.writeCall(acc))
+		}
+		return out
+	case *ast.AssignStmt:
+		var reads, writes []access
+		for _, e := range p.Rhs {
+			reads = append(reads, r.collect(e, false)...)
+		}
+		for _, l := range p.Lhs {
+			reads = append(reads, r.collect(l, true)...)
+			if id, ok := l.(*ast.Ident); ok && definesNew(r.info, id) {
+				continue
+			}
+			if acc := r.classify(l); acc != nil && keep(*acc) {
+				writes = append(writes, *acc)
+				if p.Tok != token.ASSIGN && p.Tok != token.DEFINE {
+					reads = append(reads, *acc)
+				}
+			}
+		}
+		out := r.readCalls(filterAccesses(reads, keep))
+		for i := range writes {
+			out = append(out, r.writeCall(&writes[i]))
+		}
+		return out
+	}
+	return nil
+}
+
 // assign injects reads of the RHS (and of LHS subexpressions) before,
 // and writes to the LHS targets after. Declaring stores (x := ...) are
 // not writes: nothing can race with a variable that does not exist yet.
 func (r *rewriter) assign(s *ast.AssignStmt) []ast.Stmt {
+	pre, post := r.extractCallChains(s)
 	var reads []access
 	for _, e := range s.Rhs {
 		reads = append(reads, r.collect(e, false)...)
@@ -230,11 +346,183 @@ func (r *rewriter) assign(s *ast.AssignStmt) []ast.Stmt {
 			}
 		}
 	}
-	out := append(r.readCalls(reads), s)
+	out := append(pre, append(r.readCalls(reads), s)...)
 	for i := range writes {
 		out = append(out, r.writeCall(&writes[i]))
 	}
-	return out
+	return append(out, post...)
+}
+
+// extractCallChains handles call-rooted chains (f().x, f()[k].y) in
+// simple single-pair assignments: the classifier cannot address them (a
+// call must not run twice), so the call is bound to a temporary first
+// and the chain — mutated in place to start at the temporary — becomes
+// announceable. Memory reached through a call's pointer/slice/map
+// result is conservatively treated as shared: the callee got it from
+// somewhere, and announcing a private access is harmless. Extraction
+// only happens when the statement's other side performs no calls, so
+// the hoisted call keeps its position in evaluation order.
+func (r *rewriter) extractCallChains(s *ast.AssignStmt) (pre, post []ast.Stmt) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil, nil
+	}
+	if !exprHasCall(s.Lhs[0]) {
+		if binds, acc := r.extractCallRoot(s.Rhs[0]); acc != nil {
+			pre = append(pre, binds...)
+			pre = append(pre, r.readCall(acc))
+			return pre, nil
+		}
+	}
+	if s.Tok != token.DEFINE && !exprHasCall(s.Rhs[0]) {
+		if binds, acc := r.extractCallRoot(s.Lhs[0]); acc != nil {
+			pre = append(pre, binds...)
+			if s.Tok != token.ASSIGN {
+				pre = append(pre, r.readCall(acc)) // compound assignment reads
+			}
+			post = append(post, r.writeCall(acc))
+		}
+	}
+	return pre, post
+}
+
+// extractCallRoot binds the call at the root of a chain to a __sp_c
+// temporary, mutates the chain to start at the temporary, and returns
+// the statements to run first (the call's own feeder reads, then the
+// binding) plus the access to announce. (nil, nil) when e is not a
+// call-rooted chain worth extracting.
+func (r *rewriter) extractCallRoot(e ast.Expr) ([]ast.Stmt, *access) {
+	call, mapLink, ok := r.callChain(e)
+	if !ok {
+		return nil, nil
+	}
+	pos := e.Pos() // before the root swap detaches the chain from source
+	name := fmt.Sprintf("__sp_c%d", r.tmp)
+	r.tmp++
+	// The call leaves the statement, so the reads feeding its function
+	// and argument expressions must be announced here.
+	binds := r.readCalls(r.collect(call, false))
+	binds = append(binds, &ast.AssignStmt{
+		Lhs: []ast.Expr{ast.NewIdent(name)},
+		Tok: token.DEFINE,
+		Rhs: []ast.Expr{call},
+	})
+	swapChainRoot(e, call, ast.NewIdent(name))
+	switch {
+	case mapLink == ast.Expr(call):
+		// The call result itself is the map being indexed.
+		return binds, r.acc(ast.NewIdent(name), pos)
+	case mapLink != nil:
+		// The map operand's subtree contained the call and now holds
+		// the temporary instead.
+		return binds, r.acc(mapLink, pos)
+	default:
+		if star, isStar := e.(*ast.StarExpr); isStar {
+			return binds, r.acc(star.X, pos)
+		}
+		return binds, r.acc(&ast.UnaryExpr{Op: token.AND, X: e}, pos)
+	}
+}
+
+// callChain reports whether e is a Sel/Index/Star chain rooted at a
+// call whose result is pointer-, slice-, or map-typed (value results
+// are copies — nothing shared to announce). Link rules match chainRoot;
+// mapLink is the operand of the outermost map index (possibly the call
+// itself).
+func (r *rewriter) callChain(e ast.Expr) (call *ast.CallExpr, mapLink ast.Expr, ok bool) {
+	x := e
+	sawLink := false
+	for {
+		switch cur := x.(type) {
+		case *ast.ParenExpr:
+			x = cur.X
+		case *ast.SelectorExpr:
+			sel, found := r.info.Selections[cur]
+			if !found || sel.Kind() != types.FieldVal {
+				return nil, nil, false
+			}
+			sawLink = true
+			x = cur.X
+		case *ast.StarExpr:
+			sawLink = true
+			x = cur.X
+		case *ast.IndexExpr:
+			if !sideEffectFree(cur.Index) {
+				return nil, nil, false
+			}
+			switch r.underOf(cur.X).(type) {
+			case *types.Slice, *types.Array, *types.Pointer:
+			case *types.Map:
+				if mapLink == nil {
+					mapLink = cur.X
+				}
+			default:
+				return nil, nil, false
+			}
+			sawLink = true
+			x = cur.X
+		case *ast.CallExpr:
+			if !sawLink {
+				return nil, nil, false // a bare call is not a chain
+			}
+			switch r.underOf(cur).(type) {
+			case *types.Pointer, *types.Slice, *types.Map:
+				return cur, mapLink, true
+			}
+			return nil, nil, false
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// swapChainRoot replaces the chain link whose operand is the root call
+// with sub, mutating the chain in place so the statement and the
+// announcement share the temporary.
+func swapChainRoot(e ast.Expr, call *ast.CallExpr, sub ast.Expr) {
+	for {
+		switch cur := e.(type) {
+		case *ast.ParenExpr:
+			if cur.X == ast.Expr(call) {
+				cur.X = sub
+				return
+			}
+			e = cur.X
+		case *ast.SelectorExpr:
+			if cur.X == ast.Expr(call) {
+				cur.X = sub
+				return
+			}
+			e = cur.X
+		case *ast.IndexExpr:
+			if cur.X == ast.Expr(call) {
+				cur.X = sub
+				return
+			}
+			e = cur.X
+		case *ast.StarExpr:
+			if cur.X == ast.Expr(call) {
+				cur.X = sub
+				return
+			}
+			e = cur.X
+		default:
+			return
+		}
+	}
+}
+
+// exprHasCall reports whether evaluating e performs any call — the
+// guard that keeps temporary extraction from reordering calls.
+func exprHasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // goStmt turns `go f(a, b)` into a block that binds the function and
@@ -326,21 +614,31 @@ func (r *rewriter) funcLitsIn(n ast.Node) {
 // access is one instrumentable shared-memory access: the address
 // expression to announce and the source site it happens at.
 type access struct {
-	addr ast.Expr // evaluates to a pointer to the cell
-	site string   // "file.go:line"
+	addr ast.Expr   // evaluates to a pointer to the cell
+	site string     // "file.go:line"
+	root *types.Var // variable the chain is rooted at (nil for call temps)
 }
 
 // classify decides whether e denotes shared memory the runtime can take
 // the address of, returning the pointer expression to announce:
 //
-//	x     (shared var)            → &x
-//	s[i]  (through shared slice)  → &s[i]   (i side-effect-free)
-//	*p    (through shared ptr)    → p
-//	x.f   (field of shared var)   → &x.f
+//	x       (shared var)             → &x
+//	s[i]    (through shared slice)   → &s[i]     (i side-effect-free)
+//	*p      (through shared ptr)     → p
+//	x.f     (field of shared var)    → &x.f
+//	m[k]    (shared map element)     → m         (the map value: elements
+//	                                              are not addressable, and
+//	                                              every element access
+//	                                              conflicts on the header —
+//	                                              the granularity go test
+//	                                              -race uses for map pairs)
+//	a.b[i].c, (*p).f, m[k].y ...     → the chain's address, or the
+//	                                   outermost map link's map value
 //
-// Map elements (not addressable), accesses through compound bases
-// (a.b.c[i]), and channel operations are not classified — misses are
-// missed races, never false ones.
+// Chains must be rooted at an identifier and re-evaluate without side
+// effects. Call-rooted chains (f().x) are handled by assign's temporary
+// extraction; anything else is not classified — misses are missed
+// races, never false ones.
 func (r *rewriter) classify(e ast.Expr) *access {
 	switch e := e.(type) {
 	case *ast.ParenExpr:
@@ -350,61 +648,91 @@ func (r *rewriter) classify(e ast.Expr) *access {
 		if v == nil || !r.sh.direct[v] {
 			return nil
 		}
-		return r.acc(&ast.UnaryExpr{Op: token.AND, X: ast.NewIdent(e.Name)}, e.Pos())
-	case *ast.IndexExpr:
-		base, ok := unparen(e.X).(*ast.Ident)
-		if !ok {
-			return nil
-		}
-		v := varOf(r.info, base)
-		if v == nil || !r.sh.reachable(v) || !sideEffectFree(e.Index) {
-			return nil
-		}
-		switch r.baseType(base).(type) {
-		case *types.Slice, *types.Array, *types.Pointer: // ptr-to-array indexing included
-			return r.acc(&ast.UnaryExpr{Op: token.AND, X: e}, e.Pos())
-		}
-		return nil // map elements are not addressable
-	case *ast.StarExpr:
-		p, ok := unparen(e.X).(*ast.Ident)
-		if !ok {
-			return nil
-		}
-		v := varOf(r.info, p)
-		if v == nil || !r.sh.reachable(v) {
-			return nil
-		}
-		if _, isPtr := r.baseType(p).(*types.Pointer); !isPtr {
-			return nil
-		}
-		return r.acc(ast.NewIdent(p.Name), e.Pos())
-	case *ast.SelectorExpr:
-		base, ok := unparen(e.X).(*ast.Ident)
-		if !ok {
-			return nil
-		}
-		v := varOf(r.info, base)
-		if v == nil || !r.sh.reachable(v) {
-			return nil
-		}
-		sel, ok := r.info.Selections[e]
-		if !ok || sel.Kind() != types.FieldVal {
-			return nil // package-qualified name or method value
-		}
-		if isSyncPrimitive(sel.Type()) {
-			return nil
-		}
-		return r.acc(&ast.UnaryExpr{Op: token.AND, X: e}, e.Pos())
+		a := r.acc(&ast.UnaryExpr{Op: token.AND, X: ast.NewIdent(e.Name)}, e.Pos())
+		a.root = v
+		return a
+	case *ast.IndexExpr, *ast.StarExpr, *ast.SelectorExpr:
+		return r.classifyChain(e)
 	}
 	return nil
 }
 
-func (r *rewriter) baseType(base *ast.Ident) types.Type {
-	if tv, ok := r.info.Types[base]; ok && tv.Type != nil {
-		return tv.Type.Underlying()
+// classifyChain validates an ident-rooted chain of field selections,
+// indexing, and dereferences, and builds the access to announce.
+func (r *rewriter) classifyChain(e ast.Expr) *access {
+	root, mapLink, ok := r.chainRoot(e)
+	if !ok {
+		return nil
 	}
-	if v := varOf(r.info, base); v != nil {
-		return v.Type().Underlying()
+	v := varOf(r.info, root)
+	if v == nil || !r.sh.reachable(v) {
+		return nil
+	}
+	if tv, ok := r.info.Types[e]; ok && isSyncPrimitive(tv.Type) {
+		return nil // never instrument a lock's own state
+	}
+	var a *access
+	if mapLink != nil {
+		a = r.acc(mapLink, e.Pos())
+	} else if star, ok := e.(*ast.StarExpr); ok {
+		a = r.acc(star.X, e.Pos()) // &*x is just x
+	} else {
+		a = r.acc(&ast.UnaryExpr{Op: token.AND, X: e}, e.Pos())
+	}
+	a.root = v
+	return a
+}
+
+// chainRoot walks a Sel/Index/Star chain to its root identifier. Every
+// link must be a plain field selection, an index with a side-effect-free
+// index expression over a slice/array/pointer/map, or a dereference of a
+// pointer. mapLink is the operand of the outermost map index, if any:
+// the chain from there down is part of the map's value, so the map
+// itself is what the access conflicts on.
+func (r *rewriter) chainRoot(e ast.Expr) (root *ast.Ident, mapLink ast.Expr, ok bool) {
+	x := e
+	for {
+		switch cur := x.(type) {
+		case *ast.ParenExpr:
+			x = cur.X
+		case *ast.Ident:
+			return cur, mapLink, true
+		case *ast.SelectorExpr:
+			sel, found := r.info.Selections[cur]
+			if !found || sel.Kind() != types.FieldVal {
+				return nil, nil, false // package name, method value
+			}
+			x = cur.X
+		case *ast.StarExpr:
+			if _, isPtr := r.underOf(cur.X).(*types.Pointer); !isPtr {
+				return nil, nil, false
+			}
+			x = cur.X
+		case *ast.IndexExpr:
+			if !sideEffectFree(cur.Index) {
+				return nil, nil, false
+			}
+			switch r.underOf(cur.X).(type) {
+			case *types.Slice, *types.Array, *types.Pointer: // ptr-to-array included
+			case *types.Map:
+				if mapLink == nil {
+					mapLink = cur.X // outermost map link wins
+				}
+			default:
+				return nil, nil, false // strings, type params, generics
+			}
+			x = cur.X
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// underOf returns the underlying type of an expression, or Invalid for
+// nodes the checker never saw (injected temporaries).
+func (r *rewriter) underOf(e ast.Expr) types.Type {
+	if tv, ok := r.info.Types[e]; ok && tv.Type != nil {
+		return tv.Type.Underlying()
 	}
 	return types.Typ[types.Invalid]
 }

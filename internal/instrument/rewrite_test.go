@@ -304,3 +304,123 @@ func main() {
 		t.Fatalf("rewritten output does not type-check: %v\n%s", err, out)
 	}
 }
+
+// TestRewriteForCondPost pins satellite coverage: a shared variable
+// read by the loop condition and written by the post statement is
+// announced — at the loop's own line, once per iteration.
+func TestRewriteForCondPost(t *testing.T) {
+	src := `package main
+
+var n int
+
+func main() {
+	go func() { n = 1 }()
+	for ; n < 3; n++ {
+	}
+}
+`
+	out, _ := rewrite(t, src)
+	for _, want := range []string{
+		`spsync.Read(&n, "prog.go:7")`,
+		`spsync.Write(&n, "prog.go:7")`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestRewritePerIterationLoopVar pins the false-positive guard: a
+// := loop variable is per-iteration (Go 1.22), so its cond/post
+// accesses touch a hidden variable no goroutine can see — announcing
+// them in the body would invent races against captured copies.
+func TestRewritePerIterationLoopVar(t *testing.T) {
+	src := `package main
+
+func main() {
+	for i := 0; i < 8; i++ {
+		go func() { _ = i }()
+	}
+}
+`
+	out, _ := rewrite(t, src)
+	if strings.Contains(out, "spsync.Write(&i") {
+		t.Fatalf("per-iteration loop variable announced as written:\n%s", out)
+	}
+}
+
+// TestRewriteMapElement: map accesses announce the map value itself
+// (one location per map, matching -race's granularity for map pairs).
+func TestRewriteMapElement(t *testing.T) {
+	src := `package main
+
+func main() {
+	m := map[string]int{}
+	go func() { m["a"] = 1 }()
+	m["b"] = 2
+	_ = m["b"]
+}
+`
+	out, st := rewrite(t, src)
+	for _, want := range []string{
+		`spsync.Write(m, "prog.go:5")`,
+		`spsync.Write(m, "prog.go:6")`,
+		`spsync.Read(m, "prog.go:7")`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if st.Writes < 2 || st.Reads < 1 {
+		t.Fatalf("map accesses undercounted: %+v", st)
+	}
+}
+
+// TestRewriteSelectorChain: compound chains rooted at a shared
+// variable announce the full chain's address.
+func TestRewriteSelectorChain(t *testing.T) {
+	src := `package main
+
+type inner struct{ x int }
+type outer struct{ in inner }
+
+var o outer
+
+func main() {
+	go func() { o.in.x = 1 }()
+	o.in.x = 2
+}
+`
+	out, _ := rewrite(t, src)
+	if !strings.Contains(out, `spsync.Write(&o.in.x, "prog.go:10")`) {
+		t.Fatalf("selector chain write not announced:\n%s", out)
+	}
+}
+
+// TestRewriteCallRootedChain: f().x cannot be addressed in place (the
+// call must not run twice), so the call is bound to a temporary and
+// the chain announced through it.
+func TestRewriteCallRootedChain(t *testing.T) {
+	src := `package main
+
+type box struct{ x int }
+
+var g box
+
+func get() *box { return &g }
+
+func main() {
+	go func() { g.x = 1 }()
+	get().x = 2
+}
+`
+	out, _ := rewrite(t, src)
+	for _, want := range []string{
+		"__sp_c0 := get()",
+		`spsync.Write(&__sp_c0.x, "prog.go:11")`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// spinstrument:expect clean
+//
+// chain_call_racy's clean twin: the receive moves before the
+// call-rooted store, so the channel edge orders the writes. Clean
+// only if BOTH the chain announcement and the channel edge work.
+package main
+
+import "fmt"
+
+type counter struct{ n int }
+type state struct{ c counter }
+
+var st state
+
+func top() *state { return &st }
+
+func main() {
+	done := make(chan struct{}, 1)
+	go func() {
+		st.c.n = 1
+		done <- struct{}{}
+	}()
+	<-done
+	top().c.n = 2
+	fmt.Println("n:", st.c.n)
+}

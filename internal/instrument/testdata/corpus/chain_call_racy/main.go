@@ -1,0 +1,27 @@
+// spinstrument:expect racy
+//
+// The call-rooted-chain gap: top().c.n reaches the same cell as
+// st.c.n, but the classifier used to skip call-rooted chains
+// entirely. The call is now bound to a temporary and the store
+// announced through it — racing with the goroutine's direct write.
+package main
+
+import "fmt"
+
+type counter struct{ n int }
+type state struct{ c counter }
+
+var st state
+
+func top() *state { return &st }
+
+func main() {
+	done := make(chan struct{}, 1)
+	go func() {
+		st.c.n = 1
+		done <- struct{}{}
+	}()
+	top().c.n = 2
+	<-done
+	fmt.Println("n:", st.c.n)
+}

@@ -1,0 +1,34 @@
+// spinstrument:expect clean
+//
+// The tentpole program: a producer/consumer pipeline where every
+// cross-goroutine access is ordered ONLY by channel operations — no
+// mutex, no WaitGroup. A detector without channel join edges reports
+// every cells[i] pair as a race; with them the program is clean.
+// Channels are buffered to capacity so the serialized schedule (which
+// runs each goroutine to completion at its spawn point) cannot block.
+package main
+
+import "fmt"
+
+func main() {
+	const items = 4
+	cells := make([]int, items)
+	ready := make(chan int, items)
+	done := make(chan struct{}, 1)
+	go func() {
+		for i := 0; i < items; i++ {
+			cells[i] = i * 3
+			ready <- i
+		}
+		close(ready)
+	}()
+	go func() {
+		sum := 0
+		for i := range ready {
+			sum += cells[i]
+		}
+		fmt.Println("sum:", sum)
+		done <- struct{}{}
+	}()
+	<-done
+}

@@ -1,0 +1,33 @@
+// spinstrument:expect racy
+//
+// The pipeline's racy twin: the producer stores into cells[i] AFTER
+// sending i, so the channel edge does not cover the write — the
+// consumer's read races with it. Everything else is identical to
+// chan_pipeline_clean; the single moved line is what both detectors
+// must pin.
+package main
+
+import "fmt"
+
+func main() {
+	const items = 4
+	cells := make([]int, items)
+	ready := make(chan int, items)
+	done := make(chan struct{}, 1)
+	go func() {
+		for i := 0; i < items; i++ {
+			ready <- i
+			cells[i] = i * 3 // after the send: the edge does not order this
+		}
+		close(ready)
+	}()
+	go func() {
+		sum := 0
+		for i := range ready {
+			sum += cells[i]
+		}
+		fmt.Println("sum:", sum)
+		done <- struct{}{}
+	}()
+	<-done
+}

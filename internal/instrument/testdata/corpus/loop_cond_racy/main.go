@@ -1,0 +1,25 @@
+// spinstrument:expect racy
+//
+// The loop-condition gap: `limit` is read by the for condition on
+// every iteration while another goroutine writes it. Before cond/post
+// instrumentation the rewriter never announced the condition's read
+// and this program passed as clean.
+package main
+
+import "fmt"
+
+var limit = 10
+
+func main() {
+	done := make(chan struct{}, 1)
+	go func() {
+		limit = 5
+		done <- struct{}{}
+	}()
+	count := 0
+	for i := 0; i < limit; i++ {
+		count++
+	}
+	<-done
+	fmt.Println("count:", count)
+}

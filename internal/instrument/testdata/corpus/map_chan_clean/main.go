@@ -1,0 +1,20 @@
+// spinstrument:expect clean
+//
+// map_read_racy's clean twin: the same map write and read, but the
+// receive happens BEFORE the read — the channel edge orders the pair.
+// Exercises the map-element announcement and the channel edge at once.
+package main
+
+import "fmt"
+
+func main() {
+	scores := map[string]int{}
+	done := make(chan struct{}, 1)
+	go func() {
+		scores["a"] = 1
+		done <- struct{}{}
+	}()
+	<-done
+	v := scores["a"]
+	fmt.Println("v:", v)
+}

@@ -1,0 +1,21 @@
+// spinstrument:expect racy
+//
+// The map-element gap: m[k] accesses were never announced (classify
+// only handled slices). The concurrent write and read of the map must
+// be flagged — the map header is the conflicting location, matching
+// -race's granularity for map operations.
+package main
+
+import "fmt"
+
+func main() {
+	scores := map[string]int{}
+	done := make(chan struct{}, 1)
+	go func() {
+		scores["a"] = 1
+		done <- struct{}{}
+	}()
+	v := scores["a"]
+	<-done
+	fmt.Println("v:", v)
+}

@@ -17,6 +17,14 @@ const (
 	Release
 	// Compute burns Arg abstract work units without touching memory.
 	Compute
+	// Put publishes the thread's history into the single-assignment
+	// future Loc (a channel send, a promise fulfilment, a WaitGroup
+	// Done). Each future may be put at most once per replay.
+	Put
+	// Get observes future Loc: everything before its Put happens
+	// before everything after the Get. A Get must follow the
+	// matching Put in the tree's serial (English) order.
+	Get
 )
 
 // String returns a short mnemonic for the operation.
@@ -32,6 +40,10 @@ func (o Op) String() string {
 		return "release"
 	case Compute:
 		return "compute"
+	case Put:
+		return "put"
+	case Get:
+		return "get"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -41,8 +53,9 @@ func (o Op) String() string {
 // lock operation, or plain computation. The race detectors replay these
 // steps; the schedulers use them to give threads realistic, instrumentable
 // work. Loc identifies a shared-memory location for Read/Write, a mutex for
-// Acquire/Release, and is unused for Compute. Arg carries the work amount
-// for Compute and is unused otherwise.
+// Acquire/Release, a future for Put/Get, and is unused for Compute. Arg
+// carries the work amount for Compute and is unused otherwise. The three
+// Loc namespaces are independent: x3, m3, and f3 are unrelated objects.
 type Step struct {
 	Op  Op
 	Loc int
@@ -64,6 +77,12 @@ func Rel(m int) Step { return Step{Op: Release, Loc: m} }
 // Work returns a Compute step of n units.
 func WorkStep(n int64) Step { return Step{Op: Compute, Arg: n} }
 
+// PutStep returns a Put step for future f.
+func PutStep(f int) Step { return Step{Op: Put, Loc: f} }
+
+// GetStep returns a Get step for future f.
+func GetStep(f int) Step { return Step{Op: Get, Loc: f} }
+
 // String renders the step, e.g. "write x12".
 func (s Step) String() string {
 	switch s.Op {
@@ -71,6 +90,8 @@ func (s Step) String() string {
 		return fmt.Sprintf("compute %d", s.Arg)
 	case Acquire, Release:
 		return fmt.Sprintf("%s m%d", s.Op, s.Loc)
+	case Put, Get:
+		return fmt.Sprintf("%s f%d", s.Op, s.Loc)
 	default:
 		return fmt.Sprintf("%s x%d", s.Op, s.Loc)
 	}

@@ -19,9 +19,18 @@
 // interned: the first access at a site emits one defstring record and
 // later accesses reference its index.
 //
+// Version 2 adds the sync-object edge records OpPut and OpGet (futures
+// / channel send-recv edges layered over the SP relation). A Put
+// retires the acting thread exactly like an empty fork-join diamond —
+// the Monitor allocates three fresh IDs (a dead branch, its sibling,
+// and the continuation the thread resumes as) — so thread-ID density
+// is preserved and version-1 decoders never see the records they
+// cannot parse (they reject the bumped header instead). Version-1
+// traces still decode: the new opcodes simply never appear.
+//
 // Versioning policy: decoders reject traces whose version is newer
 // than they understand; any change to record layout bumps Version.
-// Opcodes 0x0B..0xFF are reserved for future record kinds.
+// Opcodes 0x0D..0xFF are reserved for future record kinds.
 package wire
 
 import (
@@ -37,7 +46,7 @@ const (
 	// Magic opens every trace stream.
 	Magic = "SPTR"
 	// Version is the current format version.
-	Version = 1
+	Version = 2
 	// MaxStringLen bounds one interned site string; longer sites are
 	// truncated on encode and rejected on decode.
 	MaxStringLen = 1 << 20
@@ -60,13 +69,18 @@ const (
 	OpAcquire      // uvarint thread, zigzag lock
 	OpRelease      // uvarint thread, zigzag lock
 	OpString       // uvarint length, raw bytes
+	OpPut          // uvarint thread (v2)
+	OpGet          // uvarint thread, uvarint count, count x uvarint token (v2)
 )
 
 // Event is one decoded record. T1 is the fork parent, the join left
 // operand, or the acting thread; T2 is the join right operand. Addr
 // holds the address of an access, Lock the mutex of an Acquire/Release.
 // Site/HasSite carry the interned site of an OpReadSite/OpWriteSite
-// (whose Op decodes as OpRead/OpWrite with HasSite set).
+// (whose Op decodes as OpRead/OpWrite with HasSite set). Tokens carry
+// the put-tokens an OpGet joins with (the retired thread IDs of the
+// matching Puts, listed explicitly: pairing by arrival order would
+// mispair under concurrent recording).
 type Event struct {
 	Op      Op
 	T1, T2  int64
@@ -74,6 +88,7 @@ type Event struct {
 	Lock    int64
 	Site    string
 	HasSite bool
+	Tokens  []int64
 }
 
 // Encoder streams records to an io.Writer. All methods are safe for
@@ -241,6 +256,31 @@ func (b *AccessBuf) Flush() {
 	b.e.emit(b.buf)
 	b.e.mu.Unlock()
 	b.buf = b.buf[:0]
+}
+
+// Put records Put(t): t publishes a sync-object edge and retires; the
+// replaying monitor allocates the diamond's three fresh IDs itself.
+func (e *Encoder) Put(t int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := append(e.buf[:0], byte(OpPut))
+	e.buf = binary.AppendUvarint(b, uint64(t))
+	e.emit(e.buf)
+}
+
+// Get records Get(t, tokens...): t observes the edges published by the
+// listed put-tokens.
+func (e *Encoder) Get(t int64, tokens []int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := append(e.buf[:0], byte(OpGet))
+	b = binary.AppendUvarint(b, uint64(t))
+	b = binary.AppendUvarint(b, uint64(len(tokens)))
+	for _, tok := range tokens {
+		b = binary.AppendUvarint(b, uint64(tok))
+	}
+	e.buf = b
+	e.emit(e.buf)
 }
 
 // Acquire records Acquire(t, lock).
@@ -420,6 +460,36 @@ func (d *Decoder) Next() (Event, error) {
 				}
 			}
 			return ev, nil
+		case OpPut:
+			t, err := d.tid()
+			if err != nil {
+				return Event{}, err
+			}
+			return Event{Op: op, T1: t}, nil
+		case OpGet:
+			t, err := d.tid()
+			if err != nil {
+				return Event{}, err
+			}
+			n, err := d.uvarint()
+			if err != nil {
+				return Event{}, err
+			}
+			// A Get can name at most the threads retired so far; a
+			// fixed sanity bound keeps a hostile count from demanding
+			// an unbounded allocation up front.
+			const maxTokens = 1 << 20
+			if n > maxTokens {
+				return Event{}, fmt.Errorf("wire: get token count %d exceeds limit %d", n, maxTokens)
+			}
+			toks := make([]int64, n)
+			for i := range toks {
+				toks[i], err = d.tid()
+				if err != nil {
+					return Event{}, err
+				}
+			}
+			return Event{Op: op, T1: t, Tokens: toks}, nil
 		case OpAcquire, OpRelease:
 			t, err := d.tid()
 			if err != nil {

@@ -59,6 +59,16 @@ func Scenarios() []Scenario {
 			Description: "deep fork spine, structural events dominate, sparse accesses over a few shared racy cells",
 			Build:       buildForkHeavy,
 		},
+		{
+			Name:        "channel-pipeline",
+			Description: "fully parallel stages ordered only by channel-style Put/Get edges (race-free through the edges alone)",
+			Build:       buildChannelPipeline,
+		},
+		{
+			Name:        "future-dag",
+			Description: "parallel workers joined by a random future DAG: each worker Gets a subset of earlier workers' Puts before reading their cells",
+			Build:       buildFutureDAG,
+		},
 	}
 }
 
@@ -234,6 +244,69 @@ func buildForkHeavy(threads int, seed int64) *spt.Tree {
 		}
 	}
 	return spt.MustTree(cur)
+}
+
+// buildChannelPipeline is the tentpole workload: every stage runs in
+// ONE parallel block — the SP relation alone says stage k+1's reads
+// race with stage k's writes — and only the Put/Get edges (a channel
+// handoff per stage boundary) order them. A detector that ignores the
+// edges reports every cross-stage pair; one that incorporates them
+// reports nothing. A Put publishes only the putting thread's own
+// history, so each worker Puts its own future after writing its cell,
+// and stage k+1's worker j Gets exactly the futures of the stage-k
+// workers whose cells it reads. Gets follow their Puts in English
+// order because stages are listed left to right in the parallel block.
+func buildChannelPipeline(threads int, seed int64) *spt.Tree {
+	const width = 4
+	stages := max(2, threads/width)
+	cell := func(stage, j int) int { return stage*width + j }
+	nodes := make([]*spt.Node, 0, stages*width)
+	for k := 0; k < stages; k++ {
+		for j := 0; j < width; j++ {
+			w := spt.NewLeaf(fmt.Sprintf("s%dw%d", k, j), 1)
+			if k > 0 {
+				w.Steps = append(w.Steps,
+					spt.GetStep(cell(k-1, j)), spt.R(cell(k-1, j)),
+					spt.GetStep(cell(k-1, (j+1)%width)), spt.R(cell(k-1, (j+1)%width)))
+			}
+			w.Steps = append(w.Steps, spt.W(cell(k, j)), spt.PutStep(cell(k, j)))
+			nodes = append(nodes, w)
+		}
+	}
+	_ = seed // fully structural
+	return spt.MustTree(spt.Par(nodes...))
+}
+
+// buildFutureDAG joins one flat parallel block into a random DAG of
+// future edges: worker j writes its cell, Puts future j, and first
+// Gets a random subset of futures i < j, reading cell i after each.
+// Every cross-worker read is covered by an edge, so the program is
+// race-free exactly when the backend honors Put/Get — and the English
+// order constraint (Get after Put) holds because worker i sits to the
+// left of worker j in the parallel block.
+func buildFutureDAG(threads int, seed int64) *spt.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	n := max(2, threads)
+	leaves := make([]*spt.Node, n)
+	for j := 0; j < n; j++ {
+		l := spt.NewLeaf(fmt.Sprintf("w%d", j), 1)
+		deps := 0
+		if j > 0 {
+			deps = rng.Intn(min(j, 3) + 1)
+		}
+		seen := map[int]bool{}
+		for d := 0; d < deps; d++ {
+			i := rng.Intn(j)
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			l.Steps = append(l.Steps, spt.GetStep(i), spt.R(i))
+		}
+		l.Steps = append(l.Steps, spt.W(j), spt.PutStep(j))
+		leaves[j] = l
+	}
+	return spt.MustTree(spt.Par(leaves...))
 }
 
 // buildPlanted reuses PlantRaces: a random SP program with exact

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/spt"
+	"repro/sp"
 )
 
 // TestScenarioDeterminism pins the property the trace subsystem relies
@@ -75,5 +76,53 @@ func TestScenarioShapes(t *testing.T) {
 	}
 	if len(ScenarioNames()) != len(Scenarios()) {
 		t.Fatal("ScenarioNames length mismatch")
+	}
+}
+
+// TestEdgeScenariosRaceFree pins what channel-pipeline and future-dag
+// exist to prove: every conflicting pair is ordered by a Put/Get edge
+// alone (the SP relation says the workers are parallel), so every
+// backend must report zero races — and stripping the edges must bring
+// the races back, or the scenario isn't testing anything.
+func TestEdgeScenariosRaceFree(t *testing.T) {
+	for _, name := range []string{"channel-pipeline", "future-dag"} {
+		sc, ok := ScenarioByName(name)
+		if !ok {
+			t.Fatalf("scenario %q not registered", name)
+		}
+		tree := sc.Build(24, 5)
+		edges := 0
+		for _, l := range tree.Threads() {
+			for _, st := range l.Steps {
+				if st.Op == spt.Put || st.Op == spt.Get {
+					edges++
+				}
+			}
+		}
+		if edges == 0 {
+			t.Fatalf("%s: no Put/Get steps attached", name)
+		}
+		for _, backend := range sp.BackendNames() {
+			m := sp.MustMonitor(sp.WithBackend(backend))
+			sp.Replay(tree, m)
+			if rep := m.Report(); len(rep.Races) != 0 {
+				t.Fatalf("%s on %s: false races through the edges: %v", name, backend, rep.Races)
+			}
+		}
+		stripped := sc.Build(24, 5)
+		for _, l := range stripped.Threads() {
+			var kept []spt.Step
+			for _, st := range l.Steps {
+				if st.Op != spt.Put && st.Op != spt.Get {
+					kept = append(kept, st)
+				}
+			}
+			l.Steps = kept
+		}
+		m := sp.MustMonitor(sp.WithBackend("sp-hybrid"))
+		sp.Replay(stripped, m)
+		if rep := m.Report(); len(rep.Races) == 0 {
+			t.Fatalf("%s: edge-free twin reports no races — the edges carry no ordering", name)
+		}
 	}
 }

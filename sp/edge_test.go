@@ -1,0 +1,105 @@
+package sp_test
+
+import (
+	"testing"
+
+	"repro/internal/spt"
+	"repro/sp"
+)
+
+// Channel-shaped: producer writes x, Puts; consumer (parallel in SP) Gets, reads x.
+func TestEdgeSmoke(t *testing.T) {
+	for _, name := range sp.BackendNames() {
+		t.Run(name, func(t *testing.T) {
+			m := sp.MustMonitor(sp.WithBackend(name))
+			// fork: child = producer, cont = consumer
+			child, cont := m.Fork(m.Main())
+			m.Begin(child)
+			m.Write(child, 100)
+			tok := child
+			childEnd := m.Put(child)
+			m.Begin(cont)
+			m.Get(cont, tok)
+			m.Read(cont, 100) // ordered via edge: no race
+			final := m.Join(childEnd, cont)
+			m.Begin(final)
+			rep := m.Report()
+			if len(rep.Races) != 0 {
+				t.Fatalf("false race: %v", rep.Races)
+			}
+			if rep.Puts != 1 || rep.Gets != 1 {
+				t.Fatalf("puts=%d gets=%d", rep.Puts, rep.Gets)
+			}
+		})
+	}
+}
+
+// edgeTree is the channel-shaped parse tree: a producer leaf that
+// writes x7 and Puts future f1, in parallel with a consumer leaf that
+// (when synced) Gets f1 before reading x7.
+func edgeTree(t *testing.T, synced bool) *spt.Tree {
+	t.Helper()
+	prod := spt.NewLeaf("prod", 1)
+	prod.Steps = []spt.Step{spt.W(7), spt.PutStep(1)}
+	cons := spt.NewLeaf("cons", 1)
+	if synced {
+		cons.Steps = []spt.Step{spt.GetStep(1), spt.R(7)}
+	} else {
+		cons.Steps = []spt.Step{spt.R(7)}
+	}
+	tr, err := spt.NewTree(spt.Par(prod, cons))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestReplayEdgeSteps drives Put/Get parse-tree steps through the
+// serial replay on every backend and through the concurrent replay on
+// the any-order ones: the synced tree is race-free, its twin races.
+func TestReplayEdgeSteps(t *testing.T) {
+	for _, name := range sp.BackendNames() {
+		t.Run(name, func(t *testing.T) {
+			m := sp.MustMonitor(sp.WithBackend(name))
+			sp.Replay(edgeTree(t, true), m)
+			rep := m.Report()
+			if len(rep.Races) != 0 || rep.Puts != 1 || rep.Gets != 1 {
+				t.Fatalf("synced: races=%v puts=%d gets=%d", rep.Races, rep.Puts, rep.Gets)
+			}
+			m = sp.MustMonitor(sp.WithBackend(name))
+			sp.Replay(edgeTree(t, false), m)
+			if rep := m.Report(); len(rep.Races) != 1 {
+				t.Fatalf("racy twin: races=%v, want 1", rep.Races)
+			}
+			if !m.Backend().AnyOrder {
+				return
+			}
+			m = sp.MustMonitor(sp.WithBackend(name))
+			sp.ReplayParallel(edgeTree(t, true), m, 4)
+			if rep := m.Report(); len(rep.Races) != 0 {
+				t.Fatalf("parallel synced: races=%v", rep.Races)
+			}
+		})
+	}
+}
+
+// Same without the Get: must race.
+func TestEdgeSmokeRacy(t *testing.T) {
+	for _, name := range sp.BackendNames() {
+		t.Run(name, func(t *testing.T) {
+			m := sp.MustMonitor(sp.WithBackend(name))
+			child, cont := m.Fork(m.Main())
+			m.Begin(child)
+			m.Write(child, 100)
+			childEnd := m.Put(child)
+			m.Begin(cont)
+			m.Read(cont, 100)
+			final := m.Join(childEnd, cont)
+			m.Begin(final)
+			rep := m.Report()
+			if len(rep.Races) != 1 {
+				t.Fatalf("want 1 race, got %v", rep.Races)
+			}
+		})
+	}
+}

@@ -67,6 +67,9 @@ type Report struct {
 	Locations []uint64
 	// Threads, Forks, and Joins count the structural events seen.
 	Threads, Forks, Joins int64
+	// Puts and Gets count the sync-object edge events (channel
+	// send/recv, future put/get, cross-goroutine WaitGroup) applied.
+	Puts, Gets int64
 	// Accesses counts memory accesses; Queries counts SP queries issued
 	// (by the detection protocol and by Relation/Precedes/Parallel).
 	Accesses, Queries int64
@@ -136,6 +139,19 @@ type threadState struct {
 	// cache lines. Report sums them.
 	accesses atomic.Int64
 	queries  atomic.Int64
+	// ctx holds the put-tokens this thread has observed through Get
+	// (SP-maximal, deduplicated): token s here means s's Put
+	// happens-before this thread, so everything SP-preceding s is
+	// ordered before this thread too. Owned by the thread's goroutine —
+	// only its own Get replaces the slice (wholesale, never in place) —
+	// so descendants may inherit it by reference.
+	ctx []ThreadID
+	// snap is the token set a Put publishes: the putter's pruned ctx
+	// plus the putter itself. Written once at Put and immutable after;
+	// getters read it through the real synchronization object carrying
+	// the edge (channel send/recv, WaitGroup Done/Wait), which orders
+	// the write before every read.
+	snap []ThreadID
 }
 
 type config struct {
@@ -204,6 +220,14 @@ type Monitor struct {
 	info    BackendInfo
 	handles HandleMaintainer // non-nil when the backend hands out query handles
 	orders  orderQuerier     // non-nil when the backend answers order queries exactly
+	// mirror is the serial fallback for sync-object edges: composing an
+	// edge into the relation needs Precedes on arbitrary PAST thread
+	// pairs, which backends without BackendInfo.FullQueries (sp-bags)
+	// cannot answer. For them the Monitor maintains a shadow
+	// english-hebrew instance fed every structural event, and routes
+	// edge-composition queries there; nil when the backend answers them
+	// itself.
+	mirror Maintainer
 
 	raceDetect     bool
 	lockAware      bool
@@ -236,6 +260,8 @@ type Monitor struct {
 	relQueries atomic.Int64 // queries issued via Relation/Precedes/Parallel
 	forks      atomic.Int64
 	joins      atomic.Int64
+	puts       atomic.Int64
+	gets       atomic.Int64
 	finished   atomic.Bool
 
 	// mx is the WithMetrics instrument set; nil on uninstrumented
@@ -284,6 +310,18 @@ func NewMonitor(opts ...Option) (*Monitor, error) {
 	}
 	m.handles, _ = backend.(HandleMaintainer)
 	m.orders, _ = backend.(orderQuerier)
+	if !info.FullQueries {
+		// Serial fallback for sync-object edges: backends that only
+		// answer queries against the CURRENT thread cannot compose an
+		// edge token against a past access. Such backends are serial
+		// (every event reaches them under m.mu), so a serial
+		// english-hebrew mirror fed the same events answers the
+		// arbitrary-pair queries exactly.
+		m.mirror, _, err = newBackend("english-hebrew")
+		if err != nil {
+			return nil, err
+		}
+	}
 	// Queries escape the global mutex only when the backend declares
 	// them safe concurrently with structural updates; the access fast
 	// path additionally requires exact order answers (per-thread
@@ -307,6 +345,9 @@ func NewMonitor(opts ...Option) (*Monitor, error) {
 	}
 	m.main = m.newThread()
 	m.backend.Start(m.main)
+	if m.mirror != nil {
+		m.mirror.Start(m.main)
+	}
 	m.bindRel(m.main)
 	return m, nil
 }
@@ -336,20 +377,21 @@ func (m *Monitor) newThread() ThreadID {
 	return id
 }
 
-// bindRel caches the backend's query handle on t's state, before the
-// new ThreadID escapes to the caller. On fast-path monitors every
-// access consults the handle instead of the backend's by-ID query
-// surface; serial backends that hand out handles (sp-bags, the
-// labelers) get them bound too, so their serialized replay path skips
-// the per-query backend indirection as well.
+// bindRel caches the thread's query view on its state, before the new
+// ThreadID escapes to the caller: the backend's handle ("label/bag
+// reference") when it hands them out, the by-ID adapter otherwise,
+// always wrapped in the hbRel composer that layers the thread's
+// observed sync-object edges over the strict SP answers. When the
+// thread has observed no edges the wrapper is one len check.
 func (m *Monitor) bindRel(t ThreadID) {
+	st := m.state(t)
+	var inner CurrentRelative
 	if m.handles != nil {
-		m.state(t).rel = m.handles.ThreadRelative(t)
-		return
+		inner = m.handles.ThreadRelative(t)
+	} else {
+		inner = relCur{m, t}
 	}
-	if m.fastAccess {
-		m.state(t).rel = relCur{m, t}
-	}
+	st.rel = hbRel{m, st, inner}
 }
 
 // state returns t's bookkeeping, panicking on unknown IDs. The lookup
@@ -368,7 +410,7 @@ func (m *Monitor) checkLive(t ThreadID, st *threadState, ev string) {
 		panic(fmt.Sprintf("sp: %s on finished monitor", ev))
 	}
 	if st.retired.Load() {
-		panic(fmt.Sprintf("sp: %s by ended thread t%d (its serial block ended at a fork or join)", ev, t))
+		panic(fmt.Sprintf("sp: %s by ended thread t%d (its serial block ended at a fork, join, or put)", ev, t))
 	}
 }
 
@@ -379,6 +421,9 @@ func (m *Monitor) checkLive(t ThreadID, st *threadState, ev string) {
 func (m *Monitor) begin(t ThreadID, st *threadState) {
 	if st.begun.CompareAndSwap(false, true) {
 		m.backend.Begin(t)
+		if m.mirror != nil {
+			m.mirror.Begin(t)
+		}
 		if m.trace != nil {
 			m.trace.Begin(int64(t))
 		}
@@ -448,6 +493,11 @@ func (m *Monitor) Fork(parent ThreadID) (left, right ThreadID) {
 		m.backend.Fork(parent, left, right)
 		m.bindRel(left)
 		m.bindRel(right)
+		if len(st.ctx) > 0 {
+			// Both branches run after everything the parent observed.
+			m.state(left).ctx = st.ctx
+			m.state(right).ctx = st.ctx
+		}
 		st.retired.Store(true)
 		st.held = nil
 		m.forks.Add(1)
@@ -462,8 +512,15 @@ func (m *Monitor) Fork(parent ThreadID) (left, right ThreadID) {
 	m.begin(parent, st)
 	left, right = m.newThread(), m.newThread()
 	m.backend.Fork(parent, left, right)
+	if m.mirror != nil {
+		m.mirror.Fork(parent, left, right)
+	}
 	m.bindRel(left)
 	m.bindRel(right)
+	if len(st.ctx) > 0 {
+		m.state(left).ctx = st.ctx
+		m.state(right).ctx = st.ctx
+	}
 	if m.trace != nil {
 		// The spawned IDs are implicit in the trace: a fresh Monitor
 		// re-allocates them densely in record order on replay.
@@ -493,6 +550,7 @@ func (m *Monitor) Join(left, right ThreadID) (cont ThreadID) {
 		cont = m.newThread()
 		m.backend.Join(left, right, cont)
 		m.bindRel(cont)
+		m.joinCtx(lst, rst, m.state(cont))
 		lst.retired.Store(true)
 		rst.retired.Store(true)
 		lst.held, rst.held = nil, nil
@@ -508,7 +566,11 @@ func (m *Monitor) Join(left, right ThreadID) (cont ThreadID) {
 	m.checkLive(right, rst, "Join")
 	cont = m.newThread()
 	m.backend.Join(left, right, cont)
+	if m.mirror != nil {
+		m.mirror.Join(left, right, cont)
+	}
 	m.bindRel(cont)
+	m.joinCtx(lst, rst, m.state(cont))
 	if m.trace != nil {
 		m.flushTraceShards()
 		m.trace.Join(int64(left), int64(right))
@@ -521,6 +583,248 @@ func (m *Monitor) Join(left, right ThreadID) (cont ThreadID) {
 		mx.evJoin.Add(1)
 	}
 	return cont
+}
+
+// Put publishes a sync-object edge from thread t — the send half of a
+// channel operation, a future's fulfilment, a WaitGroup.Done — and
+// returns the continuation thread t's goroutine resumes as. The value
+// of t itself is the edge's token: hand it to the observer (through
+// the real synchronization object) and the observer's Get(token)
+// orders everything up to this Put before everything after the Get.
+//
+// Structurally a Put is an empty fork-join diamond: the backend sees
+// Fork(t, dead, mid) immediately followed by Join(dead, mid, cont) —
+// exactly a no-op `go func(){}()` joined at once — so every backend
+// handles it by construction, well-nesting of joins is preserved, and
+// three dense ThreadIDs are consumed. The happens-before half of the
+// edge lives in the Monitor's per-thread token sets, not in the
+// backend: the SP relation stays a strict fork-join relation.
+//
+// Unlike Fork and Join, Put transfers t's held locks to the
+// continuation — a goroutine may send on a channel inside a critical
+// section.
+func (m *Monitor) Put(t ThreadID) (cont ThreadID) {
+	st := m.state(t)
+	if m.fastStructural {
+		m.checkLive(t, st, "Put")
+		m.begin(t, st)
+		st.snap = m.pruneCtx(append(append(make([]ThreadID, 0, len(st.ctx)+1), st.ctx...), t), NoThread)
+		dead, mid := m.newThread(), m.newThread()
+		m.backend.Fork(t, dead, mid)
+		cont = m.newThread()
+		m.backend.Join(dead, mid, cont)
+		m.bindRel(cont)
+		cst := m.state(cont)
+		cst.ctx = st.ctx
+		cst.held = st.held
+		st.retired.Store(true)
+		st.held = nil
+		m.puts.Add(1)
+		if mx := m.mx; mx != nil {
+			mx.evPut.Add(1)
+		}
+		return cont
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checkLive(t, st, "Put")
+	m.begin(t, st)
+	st.snap = m.pruneCtx(append(append(make([]ThreadID, 0, len(st.ctx)+1), st.ctx...), t), NoThread)
+	dead, mid := m.newThread(), m.newThread()
+	m.backend.Fork(t, dead, mid)
+	cont = m.newThread()
+	m.backend.Join(dead, mid, cont)
+	if m.mirror != nil {
+		m.mirror.Fork(t, dead, mid)
+		m.mirror.Join(dead, mid, cont)
+	}
+	m.bindRel(cont)
+	cst := m.state(cont)
+	cst.ctx = st.ctx
+	cst.held = st.held
+	if m.trace != nil {
+		// Only the Put is recorded; replay re-synthesizes the diamond,
+		// so the three IDs stay implicit like Fork's and Join's.
+		m.flushTraceShards()
+		m.trace.Put(int64(t))
+	}
+	st.retired.Store(true)
+	st.held = nil
+	m.puts.Add(1)
+	if mx := m.mx; mx != nil {
+		mx.evPut.Add(1)
+	}
+	return cont
+}
+
+// Get makes thread t an observer of previously published sync-object
+// edges: each token is the ThreadID a Put retired. After the call,
+// every access up to each token's Put is ordered before t's subsequent
+// accesses (and those of t's descendants), closing the channel-shaped
+// false positives a strict fork-join reading reports. Get is not a
+// structural event — t continues as itself — and panics if a token was
+// never Put.
+func (m *Monitor) Get(t ThreadID, tokens ...ThreadID) {
+	if len(tokens) == 0 {
+		return
+	}
+	st := m.state(t)
+	if m.fastStructural {
+		m.checkLive(t, st, "Get")
+		m.begin(t, st)
+		m.applyGet(t, st, tokens)
+		m.gets.Add(1)
+		if mx := m.mx; mx != nil {
+			mx.evGet.Add(1)
+		}
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checkLive(t, st, "Get")
+	m.begin(t, st)
+	if m.trace != nil {
+		m.flushTraceShards()
+		toks := make([]int64, len(tokens))
+		for i, tok := range tokens {
+			toks[i] = int64(tok)
+		}
+		m.trace.Get(int64(t), toks)
+	}
+	m.applyGet(t, st, tokens)
+	m.gets.Add(1)
+	if mx := m.mx; mx != nil {
+		mx.evGet.Add(1)
+	}
+}
+
+// applyGet folds the tokens' published snapshots into t's observed
+// set. The snapshot reads are ordered by the real synchronization
+// object that carried each token; the result is always a fresh slice
+// because t's old slice may be shared with retired ancestors.
+func (m *Monitor) applyGet(t ThreadID, st *threadState, tokens []ThreadID) {
+	merged := make([]ThreadID, 0, len(st.ctx)+len(tokens))
+	merged = append(merged, st.ctx...)
+	for _, tok := range tokens {
+		ts := m.state(tok)
+		if ts.snap == nil {
+			panic(fmt.Sprintf("sp: Get of token t%d that no Put published", tok))
+		}
+		merged = append(merged, ts.snap...)
+	}
+	st.ctx = m.pruneCtx(merged, t)
+}
+
+// joinCtx gives a join continuation the union of both branches'
+// observed token sets: an edge into either branch orders its sources
+// before everything after the join.
+func (m *Monitor) joinCtx(lst, rst, cst *threadState) {
+	switch {
+	case len(lst.ctx) == 0:
+		cst.ctx = rst.ctx
+	case len(rst.ctx) == 0:
+		cst.ctx = lst.ctx
+	default:
+		merged := make([]ThreadID, 0, len(lst.ctx)+len(rst.ctx))
+		merged = append(append(merged, lst.ctx...), rst.ctx...)
+		cst.ctx = m.pruneCtx(merged, NoThread)
+	}
+}
+
+// pruneCtx returns the SP-maximal subset of tokens, deduplicated, as a
+// fresh slice: a token SP-preceding another retained token adds no
+// ordering information (everything it orders, the later token orders
+// too). When cur is a begun thread rather than NoThread, tokens
+// SP-preceding cur are dropped as well — the plain SP relation already
+// orders everything they could. Pruning queries are internal and not
+// counted in Report.Queries.
+func (m *Monitor) pruneCtx(tokens []ThreadID, cur ThreadID) []ThreadID {
+	var out []ThreadID
+outer:
+	for i, s := range tokens {
+		for j := 0; j < i; j++ {
+			if tokens[j] == s {
+				continue outer
+			}
+		}
+		if cur != NoThread && m.pairPrecedes(s, cur) {
+			continue
+		}
+		for _, o := range tokens {
+			if o != s && m.pairPrecedes(s, o) {
+				continue outer
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// pairPrecedes answers a ≺ b in the strict SP relation for
+// edge-composition purposes, routing to the serial mirror when the
+// backend cannot answer arbitrary pairs. It calls the backend
+// directly — never Monitor.Relation — so it is safe under m.mu and on
+// the lock-free paths alike, and it does not count toward
+// Report.Queries (the count must not depend on how many edge tokens a
+// thread happens to carry).
+func (m *Monitor) pairPrecedes(a, b ThreadID) bool {
+	if a == b {
+		return false
+	}
+	if m.mirror != nil {
+		return m.mirror.Precedes(a, b)
+	}
+	return m.backend.Precedes(a, b)
+}
+
+// hbRel layers a thread's observed sync-object edges over the
+// backend's strict SP answers: prev happens-before the current thread
+// if the SP relation says so, or if prev is (or SP-precedes) a token
+// the thread observed through Get. The converse direction needs no
+// check — a thread still running has published nothing, so no edge can
+// order the CURRENT thread before a past access. The English/Hebrew
+// order answers pass through unchanged: they only steer which readers
+// the shadow protocol retains, and retention stays SP-based (a
+// documented missed-race — never false-race — gap for adversarial
+// multi-reader edge patterns; the lock-aware ALL-SETS path keeps full
+// histories and is unaffected).
+type hbRel struct {
+	m     *Monitor
+	st    *threadState
+	inner CurrentRelative
+}
+
+// edgeOrdered reports whether an observed edge orders prev before the
+// current thread.
+func (r hbRel) edgeOrdered(prev ThreadID) bool {
+	for _, s := range r.st.ctx {
+		if prev == s || r.m.pairPrecedes(prev, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r hbRel) PrecedesCurrent(prev ThreadID) bool {
+	if r.inner.PrecedesCurrent(prev) {
+		return true
+	}
+	return len(r.st.ctx) > 0 && r.edgeOrdered(prev)
+}
+
+func (r hbRel) ParallelCurrent(prev ThreadID) bool {
+	if !r.inner.ParallelCurrent(prev) {
+		return false
+	}
+	return len(r.st.ctx) == 0 || !r.edgeOrdered(prev)
+}
+
+func (r hbRel) EnglishBeforeCurrent(prev ThreadID) bool {
+	return r.inner.EnglishBeforeCurrent(prev)
+}
+
+func (r hbRel) HebrewBeforeCurrent(prev ThreadID) bool {
+	return r.inner.HebrewBeforeCurrent(prev)
 }
 
 // Read records a shared-memory load by thread t at addr.
@@ -708,11 +1012,9 @@ func (m *Monitor) access(t ThreadID, st *threadState, addr uint64, write bool, s
 		return
 	}
 	var q int64
-	rel := CurrentRelative(relCur{m, t})
-	if st.rel != nil {
-		rel = st.rel // backend-cached handle (serial backends bind these too)
-	}
-	found := m.mem.AccessOrdered(addr, rel, t, site, write, &q)
+	// st.rel is always bound at thread creation: the backend's handle
+	// (or by-ID adapter) wrapped in the edge composer.
+	found := m.mem.AccessOrdered(addr, st.rel, t, site, write, &q)
 	st.queries.Add(q)
 	if mx := m.mx; mx != nil {
 		mx.queries.Add(q)
@@ -788,10 +1090,7 @@ func (m *Monitor) lockAwareAccess(t ThreadID, st *threadState, addr uint64, writ
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	var q int64
-	rel := CurrentRelative(relCur{m, t})
-	if st.rel != nil {
-		rel = st.rel
-	}
+	rel := st.rel
 	for _, e := range sh.entries[addr] {
 		if e.t == t || !(write || e.write) {
 			continue
@@ -1064,6 +1363,8 @@ func (m *Monitor) Report() Report {
 		Threads:      threads,
 		Forks:        m.forks.Load(),
 		Joins:        m.joins.Load(),
+		Puts:         m.puts.Load(),
+		Gets:         m.gets.Load(),
 		Accesses:     accesses,
 		Queries:      queries,
 		DroppedRaces: dropped,

@@ -25,6 +25,7 @@ type monitorMetrics struct {
 	evFork, evJoin, evBegin    *metrics.Counter
 	evRead, evWrite            *metrics.Counter
 	evAcquire, evRelease       *metrics.Counter
+	evPut, evGet               *metrics.Counter
 	accessFast, accessSerial   *metrics.Counter
 	queries                    *metrics.Counter
 	threads                    *metrics.Counter
@@ -48,6 +49,8 @@ func newMonitorMetrics(reg *metrics.Registry, shards int) *monitorMetrics {
 		evWrite:      reg.Counter("sp_monitor_events_total", "monitor events applied, by opcode", "op", "write"),
 		evAcquire:    reg.Counter("sp_monitor_events_total", "monitor events applied, by opcode", "op", "acquire"),
 		evRelease:    reg.Counter("sp_monitor_events_total", "monitor events applied, by opcode", "op", "release"),
+		evPut:        reg.Counter("sp_monitor_events_total", "monitor events applied, by opcode", "op", "put"),
+		evGet:        reg.Counter("sp_monitor_events_total", "monitor events applied, by opcode", "op", "get"),
 		accessFast:   reg.Counter("sp_monitor_access_total", "memory accesses, by dispatch path", "path", "fast"),
 		accessSerial: reg.Counter("sp_monitor_access_total", "memory accesses, by dispatch path", "path", "serial"),
 		queries:      reg.Counter("sp_monitor_queries_total", "SP queries issued by the detection protocol"),

@@ -2,6 +2,7 @@ package sp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/spt"
 )
@@ -21,7 +22,9 @@ import (
 
 // ReplayIDs maps parse-tree node IDs to the event thread that executed
 // them (NoThread for internal nodes). Consecutive leaves composed in
-// series share one event thread.
+// series share one event thread. A leaf containing Put steps maps to
+// its terminal thread — the continuation the last Put created — since
+// that is the thread later serial composition and joins see.
 type ReplayIDs []ThreadID
 
 // Leaf returns the event thread that executed leaf n.
@@ -41,12 +44,13 @@ func Replay(t *spt.Tree, m *Monitor) ReplayIDs {
 // e.g. to issue SP queries mid-run.
 func ReplayObserved(t *spt.Tree, m *Monitor, obs func(leaf *spt.Node, id ThreadID)) ReplayIDs {
 	ids := newReplayIDs(t)
+	fut := newFutures(false)
 	var rec func(n *spt.Node, cur ThreadID) ThreadID
 	rec = func(n *spt.Node, cur ThreadID) ThreadID {
 		switch n.Kind() {
 		case spt.Leaf:
+			cur = replayLeaf(m, cur, n, fut)
 			ids[n.ID] = cur
-			replayLeaf(m, cur, n)
 			if obs != nil {
 				obs(n, cur)
 			}
@@ -75,13 +79,14 @@ func ReplayParallel(t *spt.Tree, m *Monitor, workers int) ReplayIDs {
 		panic(fmt.Sprintf("sp: ReplayParallel requires an any-order backend (%s requires the serial event order)", m.Backend().Name))
 	}
 	ids := newReplayIDs(t)
+	fut := newFutures(true)
 	slots := make(chan struct{}, max(workers-1, 0))
 	var rec func(n *spt.Node, cur ThreadID) ThreadID
 	rec = func(n *spt.Node, cur ThreadID) ThreadID {
 		switch n.Kind() {
 		case spt.Leaf:
+			cur = replayLeaf(m, cur, n, fut)
 			ids[n.ID] = cur
-			replayLeaf(m, cur, n)
 			return cur
 		case spt.SNode:
 			return rec(n.Right(), rec(n.Left(), cur))
@@ -115,13 +120,72 @@ func newReplayIDs(t *spt.Tree) ReplayIDs {
 	return ids
 }
 
+// futures is the replay-time store backing Put/Get steps: one
+// single-assignment cell per future key, holding the put-token (the
+// thread the Put retired). In parallel mode a Get blocks until the
+// matching Put has executed — exactly what a real future or channel
+// receive does — so the emitted event order stays creation-respecting.
+// In serial mode the tree's English order must already sequence the Put
+// first; a violation is a bug in the workload, reported by panic.
+type futures struct {
+	wait bool // block Gets until the Put (parallel replay)
+	mu   sync.Mutex
+	m    map[int]*futureCell
+}
+
+type futureCell struct {
+	done chan struct{} // closed by the Put
+	tok  ThreadID
+}
+
+func newFutures(wait bool) *futures {
+	return &futures{wait: wait, m: map[int]*futureCell{}}
+}
+
+func (f *futures) cell(key int) *futureCell {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.m[key]
+	if c == nil {
+		c = &futureCell{done: make(chan struct{})}
+		f.m[key] = c
+	}
+	return c
+}
+
+func (f *futures) put(key int, tok ThreadID) {
+	c := f.cell(key)
+	select {
+	case <-c.done:
+		panic(fmt.Sprintf("sp: replay: future f%d put twice", key))
+	default:
+	}
+	c.tok = tok
+	close(c.done)
+}
+
+func (f *futures) get(key int) ThreadID {
+	c := f.cell(key)
+	if !f.wait {
+		select {
+		case <-c.done:
+		default:
+			panic(fmt.Sprintf("sp: replay: get of future f%d before its put in serial order", key))
+		}
+	}
+	<-c.done
+	return c.tok
+}
+
 // replayLeaf emits leaf n's synthetic steps as events of thread cur,
 // with the leaf attached as the access site so race reports can name the
-// parse-tree thread. Locks the leaf still holds at its end are released
-// implicitly (by balance), preserving the model in which a critical
-// section never spans threads.
-func replayLeaf(m *Monitor, cur ThreadID, n *spt.Node) {
-	th := m.Thread(cur) // one cached handle for the whole leaf
+// parse-tree thread, and returns the thread current when the leaf ends —
+// each Put step retires the current thread and continues on the
+// diamond's continuation. Locks the leaf still holds at its end are
+// released implicitly (by balance) on the terminal thread; the Monitor
+// transfers held locks across a Put, so a critical section may span one.
+func replayLeaf(m *Monitor, cur ThreadID, n *spt.Node, fut *futures) ThreadID {
+	th := m.Thread(cur) // one cached handle between thread switches
 	th.Begin()
 	var held map[int]int
 	for _, st := range n.Steps {
@@ -141,6 +205,13 @@ func replayLeaf(m *Monitor, cur ThreadID, n *spt.Node) {
 			if held[st.Loc] > 0 {
 				held[st.Loc]--
 			}
+		case spt.Put:
+			tok := th.ID()
+			th = th.Put()
+			cur = th.ID()
+			fut.put(st.Loc, tok)
+		case spt.Get:
+			th.Get(fut.get(st.Loc))
 		}
 	}
 	for lock, n := range held {
@@ -148,4 +219,5 @@ func replayLeaf(m *Monitor, cur ThreadID, n *spt.Node) {
 			th.Release(lock)
 		}
 	}
+	return cur
 }

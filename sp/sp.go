@@ -30,6 +30,28 @@
 // SP queries (Relation, Precedes, Parallel) against any previously
 // executed thread.
 //
+// # Sync-object edges (futures, channels)
+//
+// Programs that synchronize through objects other than fork-join —
+// channels, futures, a WaitGroup waited on by a non-spawner — add
+// precedence edges the SP relation cannot express. Following the
+// future create/get extension of SP-order maintenance ("Efficient Race
+// Detection with Futures", arXiv 1901.00622), the Monitor models them
+// with a put/get event pair layered OVER the strict SP relation:
+//
+//   - Put(t) publishes an edge and retires t (its goroutine continues
+//     as the returned thread); t's ID is the edge's token.
+//   - Get(t, tokens...) orders everything up to each token's Put
+//     before everything t (and its descendants) does afterwards.
+//
+// Structurally a Put is an empty fork-join diamond, so every backend
+// accepts it unchanged; the edge itself lives in per-thread token sets
+// the race detector composes with the backend's answers. Backends
+// without FullQueries get a correct serial fallback (a shadow
+// english-hebrew instance answers the arbitrary-pair queries edge
+// composition needs). Relation/Precedes/Parallel stay strict-SP
+// queries; only race detection consumes the edges.
+//
 // # Backends
 //
 // The SP-maintenance algorithm behind a Monitor is pluggable: every

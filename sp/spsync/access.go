@@ -38,15 +38,23 @@ func (a *addrMap) intern(p uintptr) uint64 {
 	return id
 }
 
-// pointerOf extracts the raw address from the injected &expr argument.
-// Anything that is not a non-nil pointer (the rewriter should never
-// produce one, but hand-written calls might) is rejected.
+// pointerOf extracts the raw address from the injected argument:
+// a &expr pointer, or a map value for m[k] element accesses — map
+// elements are not addressable, so the rewriter announces the map
+// itself (every element access conflicts on the map header, which is
+// exactly the granularity `go test -race` uses for map/map conflicts).
+// Anything else (the rewriter should never produce one, but
+// hand-written calls might) is rejected.
 func pointerOf(p any) (uintptr, bool) {
 	v := reflect.ValueOf(p)
-	if v.Kind() != reflect.Pointer || v.IsNil() {
-		return 0, false
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Map:
+		if v.IsNil() {
+			return 0, false
+		}
+		return v.Pointer(), true
 	}
-	return v.Pointer(), true
+	return 0, false
 }
 
 // Read records a shared-memory load through p (a pointer to the cell

@@ -1,0 +1,277 @@
+package spsync
+
+import (
+	"testing"
+)
+
+// TestUnbufferedChanOrders pins the tentpole: a value produced on one
+// goroutine, handed over an unbuffered channel, and read by the
+// receiver is NOT a race — and the reverse edge orders the receiver's
+// pre-receive work before the sender's continuation.
+func TestUnbufferedChanOrders(t *testing.T) {
+	e, restore, err := swapEngine(Options{Backend: "sp-hybrid", LockAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data, echo int
+	ch := NewChan[int](0)
+	var wg WaitGroup
+	wg.Add(1)
+	Go(func() {
+		defer wg.Done()
+		data = 42
+		Write(&data, "chan.go:1")
+		echo = 1 // receiver-side write, before the receive
+		Write(&echo, "chan.go:2")
+		ch.Send(0)
+	})
+	_ = ch.Recv()
+	Read(&data, "chan.go:3") // ordered by the channel edge
+	wg.Wait()
+	Read(&echo, "chan.go:4") // ordered by Done/Wait regardless
+	rep := e.reportOf()
+	restore()
+	if len(rep.Races) != 0 {
+		t.Fatalf("channel-synchronized accesses reported racy: %v", rep.Races)
+	}
+	if rep.Puts == 0 || rep.Gets == 0 {
+		t.Fatalf("no edges recorded: puts=%d gets=%d", rep.Puts, rep.Gets)
+	}
+	if e.unjoinable.Load() != 0 {
+		t.Fatalf("unjoinable = %d, want 0", e.unjoinable.Load())
+	}
+}
+
+// TestUnbufferedChanReverseEdge pins the receive-before-send-completes
+// half: work the receiver does before the rendezvous is ordered before
+// work the sender does after it.
+func TestUnbufferedChanReverseEdge(t *testing.T) {
+	e, restore, err := swapEngine(Options{Backend: "sp-hybrid", LockAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pre int
+	ch := NewChan[int](0)
+	var wg WaitGroup
+	wg.Add(1)
+	Go(func() {
+		defer wg.Done()
+		pre = 1
+		Write(&pre, "rev.go:1")
+		_ = ch.Recv()
+	})
+	ch.Send(0)
+	Read(&pre, "rev.go:2") // after the send completed: ordered
+	wg.Wait()
+	rep := e.reportOf()
+	restore()
+	if len(rep.Races) != 0 {
+		t.Fatalf("reverse channel edge missing: %v", rep.Races)
+	}
+}
+
+// TestBufferedChanPipeline runs a two-stage pipeline over buffered
+// channels, clean in both scheduling modes (the buffers hold every
+// item, so the serialized schedule cannot deadlock).
+func TestBufferedChanPipeline(t *testing.T) {
+	const items = 8
+	for _, serialize := range []bool{false, true} {
+		e, restore, err := swapEngine(Options{Backend: "sp-hybrid", LockAware: true, Serialize: serialize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := make([]int, items)
+		ch1 := NewChan[int](items)
+		ch2 := NewChan[int](items)
+		var wg WaitGroup
+		wg.Add(2)
+		Go(func() { // stage 1: produce
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				cells[i] = i
+				Write(&cells[i], "pipe.go:1")
+				ch1.Send(i)
+			}
+			ch1.Close()
+		})
+		Go(func() { // stage 2: transform
+			defer wg.Done()
+			for {
+				i, ok := ch1.Recv2()
+				if !ok {
+					break
+				}
+				Read(&cells[i], "pipe.go:2")
+				cells[i] *= 2
+				Write(&cells[i], "pipe.go:2")
+				ch2.Send(i)
+			}
+			ch2.Close()
+		})
+		sum := 0
+		for {
+			i, ok := ch2.Recv2()
+			if !ok {
+				break
+			}
+			Read(&cells[i], "pipe.go:3")
+			sum += cells[i]
+		}
+		wg.Wait()
+		rep := e.reportOf()
+		restore()
+		if want := items * (items - 1); sum != want {
+			t.Fatalf("serialize=%v: pipeline sum = %d, want %d", serialize, sum, want)
+		}
+		if len(rep.Races) != 0 {
+			t.Fatalf("serialize=%v: pipeline reported racy: %v", serialize, rep.Races)
+		}
+	}
+}
+
+// TestChanRacyTwin: a value exchanged WITHOUT the channel carrying it
+// must still be flagged — the edge covers only what the channel
+// orders.
+func TestChanRacyTwin(t *testing.T) {
+	e, restore, err := swapEngine(Options{Backend: "sp-hybrid", LockAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sneaky int
+	ch := NewChan[int](1)
+	var wg WaitGroup
+	wg.Add(1)
+	Go(func() {
+		defer wg.Done()
+		ch.Send(0) // completes immediately: buffered, before the write
+		sneaky = 1 // AFTER the send: the edge does not cover this write
+		Write(&sneaky, "twin.go:1")
+	})
+	_ = ch.Recv()
+	Read(&sneaky, "twin.go:2") // racy: write follows the sender's Put
+	wg.Wait()
+	rep := e.reportOf()
+	restore()
+	if len(rep.Races) != 1 {
+		t.Fatalf("planted post-send race not detected: %v", rep.Races)
+	}
+}
+
+// TestChanCloseEdge: the closer's writes are ordered before a receive
+// that observes the close.
+func TestChanCloseEdge(t *testing.T) {
+	e, restore, err := swapEngine(Options{Backend: "sp-hybrid", LockAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final int
+	ch := NewChan[int](4)
+	var wg WaitGroup
+	wg.Add(1)
+	Go(func() {
+		defer wg.Done()
+		final = 7
+		Write(&final, "close.go:1")
+		ch.Close()
+	})
+	if _, ok := ch.Recv2(); ok {
+		t.Fatal("receive on closed empty channel returned ok")
+	}
+	Read(&final, "close.go:2") // ordered by the close edge
+	wg.Wait()
+	rep := e.reportOf()
+	restore()
+	if len(rep.Races) != 0 {
+		t.Fatalf("close-ordered access reported racy: %v", rep.Races)
+	}
+}
+
+// TestCrossGoroutineWait pins satellite (b): a goroutine that spawned
+// none of the workers Waits on the shared group, then reads what the
+// workers wrote — previously a silent false race, now ordered by the
+// Done edges.
+func TestCrossGoroutineWait(t *testing.T) {
+	e, restore, err := swapEngine(Options{Backend: "sp-hybrid", LockAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	cells := make([]int, workers)
+	var work WaitGroup
+	work.Add(workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		Go(func() {
+			defer work.Done()
+			cells[i] = i
+			Write(&cells[i], "cross.go:1")
+		})
+	}
+	var coord WaitGroup
+	coord.Add(1)
+	Go(func() { // the coordinator: waits on a group it did not Add to
+		defer coord.Done()
+		work.Wait()
+		for i := range cells {
+			Read(&cells[i], "cross.go:2")
+		}
+	})
+	coord.Wait()
+	work.Wait()
+	rep := e.reportOf()
+	restore()
+	if len(rep.Races) != 0 {
+		t.Fatalf("cross-goroutine Wait still reports false races: %v", rep.Races)
+	}
+	if rep.Puts < workers {
+		t.Fatalf("puts = %d, want at least one per Done", rep.Puts)
+	}
+}
+
+// TestUnjoinableCounted: a Done from a goroutine the instrumentation
+// did not spawn cannot publish an edge and must be counted, not
+// silently dropped.
+func TestUnjoinableCounted(t *testing.T) {
+	e, restore, err := swapEngine(Options{Backend: "sp-hybrid", LockAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+	var wg WaitGroup
+	wg.Add(1)
+	done := make(chan struct{})
+	go func() { // plain go: invisible to the instrumentation
+		defer close(done)
+		wg.Done()
+	}()
+	<-done
+	wg.Wait()
+	if got := e.unjoinable.Load(); got != 1 {
+		t.Fatalf("unjoinable = %d, want 1", got)
+	}
+}
+
+// TestNilChanBehavior pins the zero-value surface shared with builtin
+// channels where it cannot block: Len and Cap of nil.
+func TestNilChanBehavior(t *testing.T) {
+	_, restore, err := swapEngine(Options{Backend: "sp-hybrid", LockAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+	var c *Chan[int]
+	if c.Len() != 0 || c.Cap() != 0 {
+		t.Fatalf("nil chan len/cap = %d/%d", c.Len(), c.Cap())
+	}
+	c2 := NewChan[int](3)
+	c2.Send(1)
+	if c2.Len() != 1 || c2.Cap() != 3 {
+		t.Fatalf("len/cap = %d/%d, want 1/3", c2.Len(), c2.Cap())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Close of nil chan did not panic")
+		}
+	}()
+	c.Close()
+}

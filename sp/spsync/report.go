@@ -33,32 +33,40 @@ type ReportJSON struct {
 	Threads   int64      `json:"threads"`
 	Forks     int64      `json:"forks"`
 	Joins     int64      `json:"joins"`
+	Puts      int64      `json:"puts"`
+	Gets      int64      `json:"gets"`
 	Accesses  int64      `json:"accesses"`
 	// Orphans counts events dropped because they came from goroutines
 	// the instrumentation did not spawn; Unjoined counts children left
-	// logically parallel at join points. Both zero on fully covered
-	// programs — non-zero values flag coverage gaps honestly.
-	Orphans  int64  `json:"orphans"`
-	Unjoined int64  `json:"unjoined"`
-	Trace    string `json:"trace,omitempty"`
-	TraceErr string `json:"traceErr,omitempty"`
+	// logically parallel at join points; Unjoinable counts sync-object
+	// edges (channel operations, WaitGroup.Done) lost because one
+	// endpoint was unmonitored. All zero on fully covered programs —
+	// non-zero values flag coverage gaps honestly.
+	Orphans    int64  `json:"orphans"`
+	Unjoined   int64  `json:"unjoined"`
+	Unjoinable int64  `json:"unjoinable"`
+	Trace      string `json:"trace,omitempty"`
+	TraceErr   string `json:"traceErr,omitempty"`
 }
 
 // buildReport converts the monitor's report into the JSON form.
 func (e *engine) buildReport(rep sp.Report, traceErr error) ReportJSON {
 	out := ReportJSON{
-		Backend:   rep.Backend,
-		LockAware: e.lockAware(),
-		Serialize: e.serialize,
-		Racy:      len(rep.Races) > 0,
-		Locations: rep.Locations,
-		Threads:   rep.Threads,
-		Forks:     rep.Forks,
-		Joins:     rep.Joins,
-		Accesses:  rep.Accesses,
-		Orphans:   e.orphans.Load(),
-		Unjoined:  e.unjoined.Load(),
-		Trace:     e.tracePath,
+		Backend:    rep.Backend,
+		LockAware:  e.lockAware(),
+		Serialize:  e.serialize,
+		Racy:       len(rep.Races) > 0,
+		Locations:  rep.Locations,
+		Threads:    rep.Threads,
+		Forks:      rep.Forks,
+		Joins:      rep.Joins,
+		Puts:       rep.Puts,
+		Gets:       rep.Gets,
+		Accesses:   rep.Accesses,
+		Orphans:    e.orphans.Load(),
+		Unjoined:   e.unjoined.Load(),
+		Unjoinable: e.unjoinable.Load(),
+		Trace:      e.tracePath,
 	}
 	if traceErr != nil {
 		out.TraceErr = traceErr.Error()
@@ -101,7 +109,7 @@ func (e *engine) emitReport(rep sp.Report, traceErr error) {
 		return
 	}
 	fmt.Fprintf(os.Stderr,
-		"spsync: backend=%s races=%d locations=%d threads=%d forks=%d joins=%d accesses=%d orphans=%d unjoined=%d\n",
+		"spsync: backend=%s races=%d locations=%d threads=%d forks=%d joins=%d puts=%d gets=%d accesses=%d orphans=%d unjoined=%d unjoinable=%d\n",
 		out.Backend, len(out.Races), len(out.Locations), out.Threads, out.Forks, out.Joins,
-		out.Accesses, out.Orphans, out.Unjoined)
+		out.Puts, out.Gets, out.Accesses, out.Orphans, out.Unjoined, out.Unjoinable)
 }

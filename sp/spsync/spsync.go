@@ -1,11 +1,11 @@
 // Package spsync is the runtime that auto-instrumented Go programs
-// link against: drop-in replacements for `go` statements, sync.Mutex,
-// sync.RWMutex, and sync.WaitGroup, plus Read/Write access hooks, all
-// reporting to one process-wide sp.Monitor. cmd/spinstrument rewrites a
-// package's source onto this surface; the rewritten program still
-// builds with plain `go build` and behaves identically, but every fork,
-// join, lock operation, and shared-memory access is announced to the
-// series-parallel maintainer as it happens.
+// link against: drop-in replacements for `go` statements, channels,
+// sync.Mutex, sync.RWMutex, and sync.WaitGroup, plus Read/Write access
+// hooks, all reporting to one process-wide sp.Monitor. cmd/spinstrument
+// rewrites a package's source onto this surface; the rewritten program
+// still builds with plain `go build` and behaves identically, but every
+// fork, join, channel operation, lock operation, and shared-memory
+// access is announced to the series-parallel maintainer as it happens.
 //
 // # Model mapping
 //
@@ -26,6 +26,17 @@
 //     not part of this WaitGroup) stops the joining; it and any
 //     children spawned before it simply remain logically parallel —
 //     sound for race detection, never unsound.
+//   - WaitGroup.Done publishes a sync-object edge (a Put of the
+//     caller's history onto the group) before decrementing, and Wait
+//     observes every published edge (a Get) after the counter drains —
+//     so a Wait on a goroutine that spawned none of the workers still
+//     orders their work before it, matching the real WaitGroup's
+//     memory-model guarantee.
+//   - Chan[T] — the rewrite of `chan T` — records the Go memory
+//     model's channel edges the same way: the sender Puts before each
+//     send and the receiver Gets; unbuffered channels, slot reuse in
+//     buffered channels, and close→receive add the reverse edges. See
+//     the Chan type.
 //   - Mutex/RWMutex emit Acquire/Release inside the real critical
 //     section. Instrumented monitors default to the lock-aware
 //     ALL-SETS protocol, so lock-protected sharing is not reported —
@@ -34,12 +45,22 @@
 //     readers never race anyway, and a reader-vs-writer pair shares
 //     the lock, so neither model reports it.
 //
-// Synchronization this package does NOT model — channels, sync.Once,
-// sync.Cond, atomics — contributes no join edges: accesses ordered only
-// by such primitives remain logically parallel and are reported. That
-// is the determinacy-race reading (the pair races in SOME scheduling of
-// the same fork-join structure) and is exactly what the differential
-// corpus encodes; see the README's limitations table.
+// A Put/Get edge is an empty fork-join diamond plus a monitor-level
+// happens-before set (see package sp, "Sync-object edges"), so the SP
+// relation itself stays strict fork-join and every backend handles the
+// edges. Synchronization this package does NOT model — select,
+// sync.Once, sync.Cond, atomics — contributes no edges: accesses
+// ordered only by such primitives remain logically parallel and are
+// reported. That is the determinacy-race reading (the pair races in
+// SOME scheduling of the same fork-join structure) and is exactly what
+// the differential corpus encodes; see the README's limitations table.
+//
+// Serialize mode runs spawns inline and depth-first, so a channel
+// receive can only be satisfied by values already sent: serialized
+// channel programs must be topologically serializable (buffered
+// channels with enough capacity, producers spawned before their
+// consumers), or they deadlock just as the uninstrumented program
+// would under GOMAXPROCS=1 cooperative scheduling of that order.
 //
 // # Process lifecycle
 //
@@ -96,8 +117,9 @@ type engine struct {
 
 	locks atomic.Int64 // lock-id allocator (ids start at 1)
 
-	orphans  atomic.Int64 // events dropped: goroutine not spawned via Go
-	unjoined atomic.Int64 // children left unjoined at join points
+	orphans    atomic.Int64 // events dropped: goroutine not spawned via Go
+	unjoined   atomic.Int64 // children left unjoined at join points
+	unjoinable atomic.Int64 // sync-object edges lost to an unmonitored endpoint
 
 	shutdown sync.Once
 }

@@ -3,6 +3,8 @@ package spsync
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/sp"
 )
 
 // Mutex is a drop-in sync.Mutex that reports Acquire/Release to the
@@ -128,34 +130,60 @@ func (m *RWMutex) RUnlock() {
 	m.mu.RUnlock()
 }
 
-// WaitGroup is a drop-in sync.WaitGroup whose Wait additionally closes
-// the fork-join structure: after the real Wait returns, the calling
-// goroutine's outstanding spawns are joined in reverse spawn order
-// (well-nested by construction — see the package comment). Children
-// spawned by OTHER goroutines are not joined here; the waiter-is-the-
-// spawner pattern is the one this mapping models.
+// WaitGroup is a drop-in sync.WaitGroup that closes the fork-join
+// structure two ways. Structurally, Wait joins the calling goroutine's
+// own finished spawns in reverse spawn order (well-nested by
+// construction — see the package comment). On top of that, every Done
+// publishes a sync-object edge (a Put of the calling goroutine's
+// history, recorded on the group) and Wait observes all of them (one
+// Get), exactly as the real WaitGroup's memory-model guarantee — Done
+// happens before the Wait it unblocks — demands. The edges are what
+// make the previously silent false-positive case correct: a Wait on a
+// goroutine that did NOT spawn the workers (a coordinator handed the
+// group, a worker waiting for siblings) now still orders every Done'd
+// goroutine's work before it. A Done from an unmonitored goroutine
+// cannot publish an edge; it is counted in the report's unjoinable
+// tally rather than silently weakening the verdict.
 type WaitGroup struct {
 	wg sync.WaitGroup
+
+	mu   sync.Mutex
+	toks []sp.ThreadID // tokens published by Done, observed by Wait
 }
 
 // Add adds delta to the underlying WaitGroup counter.
 func (w *WaitGroup) Add(delta int) { w.wg.Add(delta) }
 
-// Done decrements the counter. The join edge is recorded by the waiter
-// (Wait), not here: the spawned goroutine's terminal thread is only
-// known once its function returns.
-func (w *WaitGroup) Done() { w.wg.Done() }
+// Done publishes the calling goroutine's history as an edge on the
+// group, then decrements the counter (in that order, so the token is
+// recorded before any Wait can unblock).
+func (w *WaitGroup) Done() {
+	e := current()
+	if tok := putToken(e); tok != sp.NoThread {
+		w.mu.Lock()
+		w.toks = append(w.toks, tok)
+		w.mu.Unlock()
+	}
+	w.wg.Done()
+}
 
 // Wait blocks until the counter is zero, then joins the calling
 // goroutine's finished children (reverse spawn order; a child that is
 // not finishing — it was not part of this WaitGroup — stops the walk
-// and is left parallel).
+// and is left parallel) and finally observes every edge Done published
+// on the group, ordering the Done'd goroutines' work before the
+// waiter's continuation even when the waiter spawned none of them.
 func (w *WaitGroup) Wait() {
 	w.wg.Wait()
 	e := current()
-	if g := e.cur(); g != nil {
-		e.joinFinished(g)
-	} else {
+	g := e.cur()
+	if g == nil {
 		e.orphans.Add(1)
+		return
 	}
+	e.joinFinished(g)
+	w.mu.Lock()
+	toks := append([]sp.ThreadID(nil), w.toks...)
+	w.mu.Unlock()
+	g.th.Get(toks...)
 }

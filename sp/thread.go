@@ -65,6 +65,17 @@ func (th Thread) Join(other Thread) Thread {
 	return th.m.Thread(th.m.Join(th.id, other.id))
 }
 
+// Put publishes a sync-object edge and returns the continuation's
+// handle. The token the matching Get needs is this handle's ID (read
+// it BEFORE calling Put — the continuation has a fresh ID).
+func (th Thread) Put() Thread {
+	return th.m.Thread(th.m.Put(th.id))
+}
+
+// Get observes previously published sync-object edges; each token is
+// the ID a Put retired.
+func (th Thread) Get(tokens ...ThreadID) { th.m.Get(th.id, tokens...) }
+
 // Relation returns the SP relationship of thread a to this thread.
 // This is the query form every backend supports (a against the
 // currently executing thread).

@@ -46,10 +46,26 @@ func FuzzReaderRoundTrip(f *testing.F) {
 	}
 	f.Add(buf.Bytes())
 	f.Add(buf.Bytes()[:buf.Len()/2])
+	// A v2 trace exercising the sync-object edge records.
+	var edge bytes.Buffer
+	ew := trace.NewWriter(&edge)
+	ew.Fork(0) // -> t1, t2
+	ew.Begin(1)
+	ew.WriteAt(1, 7, "a.go:1")
+	ew.Put(1) // -> diamond t3,t4 + continuation t5; token t1
+	ew.Begin(2)
+	ew.Get(2, []sp.ThreadID{1})
+	ew.ReadAt(2, 7, "b.go:2")
+	ew.Join(5, 2) // -> t6
+	if err := ew.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(edge.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte("SPTR"))
 	f.Add([]byte("SPTR\x01"))
-	f.Add([]byte("SPTR\x02\x01\x00"))                 // future version
+	f.Add([]byte("SPTR\x03\x01\x00"))                 // future version
+	f.Add([]byte("SPTR\x02\x0c\x00\xff\xff\xff\x7f")) // huge get token count
 	f.Add([]byte("SPTR\x01\x0a\xff\xff\xff\xff\x0f")) // huge string length
 
 	f.Fuzz(func(t *testing.T, data []byte) {

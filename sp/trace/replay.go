@@ -27,6 +27,7 @@ type Applier struct {
 	next sp.ThreadID                 // next ID a fresh monitor will allocate
 	live map[sp.ThreadID]bool        // threads created and not retired
 	held map[sp.ThreadID]map[int]int // lock multisets, mirroring the monitor
+	put  map[sp.ThreadID]bool        // tokens published by a Put, valid Get operands
 	n    int64
 	err  error
 }
@@ -38,6 +39,7 @@ func NewApplier(m *sp.Monitor) *Applier {
 		next: 1,
 		live: map[sp.ThreadID]bool{0: true},
 		held: map[sp.ThreadID]map[int]int{},
+		put:  map[sp.ThreadID]bool{},
 	}
 }
 
@@ -124,6 +126,34 @@ func (a *Applier) Apply(ev Event) (err error) {
 		default:
 			a.m.Write(ev.Thread, ev.Addr)
 		}
+	case Put:
+		if err := a.checkLive(ev, ev.Thread); err != nil {
+			return err
+		}
+		cont := a.m.Put(ev.Thread)
+		if cont != a.next+2 {
+			return fmt.Errorf("trace: monitor is not fresh: put created t%d, trace expects t%d", cont, a.next+2)
+		}
+		a.next += 3 // the diamond: dead branch, its sibling, the continuation
+		delete(a.live, ev.Thread)
+		a.live[cont] = true
+		if hs := a.held[ev.Thread]; hs != nil {
+			// Put transfers held locks to the continuation (unlike Fork
+			// and Join); mirror that so later Releases validate.
+			a.held[cont] = hs
+			delete(a.held, ev.Thread)
+		}
+		a.put[ev.Thread] = true
+	case Get:
+		if err := a.checkLive(ev, ev.Thread); err != nil {
+			return err
+		}
+		for _, tok := range ev.Tokens {
+			if !a.put[tok] {
+				return fmt.Errorf("trace: event %d (%s): token t%d was never put", a.n, ev, tok)
+			}
+		}
+		a.m.Get(ev.Thread, ev.Tokens...)
 	case Acquire:
 		if err := a.checkLive(ev, ev.Thread); err != nil {
 			return err
@@ -203,8 +233,8 @@ func ReplayBackend(data []byte, backend string, opts ...sp.Option) (sp.Report, e
 // of the streaming channel, not of the execution) are excluded.
 func Signature(rep sp.Report) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "threads=%d forks=%d joins=%d accesses=%d queries=%d\n",
-		rep.Threads, rep.Forks, rep.Joins, rep.Accesses, rep.Queries)
+	fmt.Fprintf(&b, "threads=%d forks=%d joins=%d puts=%d gets=%d accesses=%d queries=%d\n",
+		rep.Threads, rep.Forks, rep.Joins, rep.Puts, rep.Gets, rep.Accesses, rep.Queries)
 	fmt.Fprintf(&b, "locations=%v\n", rep.Locations)
 	fmt.Fprintf(&b, "races=%d\n", len(rep.Races))
 	for _, r := range rep.Races {

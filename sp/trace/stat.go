@@ -16,8 +16,10 @@ type Stats struct {
 	Events int64
 	// Per-kind event counts.
 	Forks, Joins, Begins, Reads, Writes, Acquires, Releases int64
+	// Puts and Gets count the sync-object edge records (version ≥ 2).
+	Puts, Gets int64
 	// Threads is the number of thread IDs the trace allocates
-	// (1 + 2·Forks + Joins, counting the main thread).
+	// (1 + 2·Forks + Joins + 3·Puts, counting the main thread).
 	Threads int64
 	// PeakParallel is the maximum number of simultaneously live
 	// threads at any prefix of the trace — the execution's peak
@@ -42,6 +44,8 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "%-14s %d\n", "writes", s.Writes)
 	fmt.Fprintf(&b, "%-14s %d\n", "acquires", s.Acquires)
 	fmt.Fprintf(&b, "%-14s %d\n", "releases", s.Releases)
+	fmt.Fprintf(&b, "%-14s %d\n", "puts", s.Puts)
+	fmt.Fprintf(&b, "%-14s %d\n", "gets", s.Gets)
 	fmt.Fprintf(&b, "%-14s %d\n", "threads", s.Threads)
 	fmt.Fprintf(&b, "%-14s %d\n", "peak-parallel", s.PeakParallel)
 	fmt.Fprintf(&b, "%-14s %d\n", "addresses", s.Addrs)
@@ -116,6 +120,11 @@ func Stat(r io.Reader) (Stats, error) {
 		case Release:
 			s.Releases++
 			locks[ev.Lock] = true
+		case Put:
+			s.Puts++
+			s.Threads += 3 // the empty diamond: two dead branches, one continuation
+		case Get:
+			s.Gets++
 		}
 	}
 }

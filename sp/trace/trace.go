@@ -8,11 +8,13 @@
 // # Format
 //
 // A trace is the 4-byte magic "SPTR", a uvarint format version
-// (currently 1), and a flat stream of varint-encoded records, one per
+// (currently 2), and a flat stream of varint-encoded records, one per
 // monitor event (see repro/internal/wire for the exact layout). Fork
 // and Join records carry only their inputs; the thread IDs they create
 // are implicit because a fresh Monitor allocates IDs densely in event
-// order, so Replay reproduces them exactly. Access sites (the values
+// order, so Replay reproduces them exactly. Version 2 adds the
+// sync-object edge records Put and Get (a Put consumes three implicit
+// IDs — its empty fork-join diamond); version-1 traces still decode. Access sites (the values
 // passed to ReadAt/WriteAt) are rendered with fmt.Sprint and interned
 // in an in-stream string table: the first use defines the string, and
 // later accesses reference its index. Readers reject traces with a
@@ -64,6 +66,8 @@ const (
 	Write
 	Acquire
 	Release
+	Put
+	Get
 )
 
 // String names the op.
@@ -83,6 +87,10 @@ func (o Op) String() string {
 		return "acquire"
 	case Release:
 		return "release"
+	case Put:
+		return "put"
+	case Get:
+		return "get"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -96,7 +104,8 @@ type Event struct {
 	Parent sp.ThreadID
 	// Left and Right are the joined threads (Join).
 	Left, Right sp.ThreadID
-	// Thread is the acting thread (Begin, Read, Write, Acquire, Release).
+	// Thread is the acting thread (Begin, Read, Write, Acquire,
+	// Release, Put, Get).
 	Thread sp.ThreadID
 	// Addr is the accessed address (Read, Write).
 	Addr uint64
@@ -105,6 +114,9 @@ type Event struct {
 	// Site and HasSite carry the access's interned site (Read, Write).
 	Site    string
 	HasSite bool
+	// Tokens are the put-tokens a Get observes: the thread IDs the
+	// matching Puts retired.
+	Tokens []sp.ThreadID
 }
 
 // String renders the event in a compact one-line form.
@@ -123,6 +135,14 @@ func (ev Event) String() string {
 		return fmt.Sprintf("%s t%d x%d", ev.Op, ev.Thread, ev.Addr)
 	case Acquire, Release:
 		return fmt.Sprintf("%s t%d m%d", ev.Op, ev.Thread, ev.Lock)
+	case Put:
+		return fmt.Sprintf("put t%d", ev.Thread)
+	case Get:
+		s := fmt.Sprintf("get t%d", ev.Thread)
+		for _, tok := range ev.Tokens {
+			s += fmt.Sprintf(" t%d", tok)
+		}
+		return s
 	default:
 		return ev.Op.String()
 	}
@@ -167,6 +187,19 @@ func (w *Writer) WriteAt(t sp.ThreadID, addr uint64, site string) {
 	w.e.Access(int64(t), addr, true, true, site)
 }
 
+// Put records a Put(t) event (the diamond's three created IDs are
+// implicit, like Fork's and Join's).
+func (w *Writer) Put(t sp.ThreadID) { w.e.Put(int64(t)) }
+
+// Get records a Get(t, tokens...) event.
+func (w *Writer) Get(t sp.ThreadID, tokens []sp.ThreadID) {
+	toks := make([]int64, len(tokens))
+	for i, tok := range tokens {
+		toks[i] = int64(tok)
+	}
+	w.e.Get(int64(t), toks)
+}
+
 // Acquire records an Acquire(t, lock) event.
 func (w *Writer) Acquire(t sp.ThreadID, lock int) { w.e.Acquire(int64(t), int64(lock)) }
 
@@ -199,6 +232,10 @@ func (w *Writer) WriteEvent(ev Event) error {
 		w.Acquire(ev.Thread, ev.Lock)
 	case Release:
 		w.Release(ev.Thread, ev.Lock)
+	case Put:
+		w.Put(ev.Thread)
+	case Get:
+		w.Get(ev.Thread, ev.Tokens)
 	default:
 		return fmt.Errorf("trace: cannot encode event with op %v", ev.Op)
 	}
@@ -260,6 +297,14 @@ func (r *Reader) Next() (Event, error) {
 		}
 		return Event{Op: op, Thread: sp.ThreadID(wev.T1), Addr: wev.Addr,
 			Site: wev.Site, HasSite: wev.HasSite}, nil
+	case wire.OpPut:
+		return Event{Op: Put, Thread: sp.ThreadID(wev.T1)}, nil
+	case wire.OpGet:
+		toks := make([]sp.ThreadID, len(wev.Tokens))
+		for i, tok := range wev.Tokens {
+			toks[i] = sp.ThreadID(tok)
+		}
+		return Event{Op: Get, Thread: sp.ThreadID(wev.T1), Tokens: toks}, nil
 	case wire.OpAcquire, wire.OpRelease:
 		op := Acquire
 		if wev.Op == wire.OpRelease {

@@ -52,8 +52,8 @@ func TestWriterReaderRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rd.Version() != 1 {
-		t.Fatalf("version = %d, want 1", rd.Version())
+	if rd.Version() != 2 {
+		t.Fatalf("version = %d, want 2", rd.Version())
 	}
 	got, err := trace.ReadAll(bytes.NewReader(data))
 	if err != nil {
@@ -134,6 +134,16 @@ func TestReplayRejectsInvalidTraces(t *testing.T) {
 			{Op: trace.Fork, Parent: 0},
 			{Op: trace.Release, Thread: 1, Lock: 2},
 		}, "unheld"},
+		{"put of retired thread", []trace.Event{
+			{Op: trace.Fork, Parent: 0}, {Op: trace.Put, Thread: 0},
+		}, "not live"},
+		{"get of never-put token", []trace.Event{
+			{Op: trace.Fork, Parent: 0},
+			{Op: trace.Get, Thread: 1, Tokens: []sp.ThreadID{2}},
+		}, "never put"},
+		{"get by unknown thread", []trace.Event{
+			{Op: trace.Get, Thread: 9, Tokens: []sp.ThreadID{0}},
+		}, "not live"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -144,6 +154,66 @@ func TestReplayRejectsInvalidTraces(t *testing.T) {
 				t.Fatalf("Replay err = %v, want mention of %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestReplayPutGet replays sync-object edge streams: the edge must
+// order the producer's write before the consumer's read (no race), the
+// twin without the Get must race, and held locks must survive a Put.
+func TestReplayPutGet(t *testing.T) {
+	synced := []trace.Event{
+		{Op: trace.Fork, Parent: 0}, // t1 producer, t2 consumer
+		{Op: trace.Begin, Thread: 1},
+		{Op: trace.Write, Thread: 1, Addr: 7, Site: "send.go:3", HasSite: true},
+		{Op: trace.Put, Thread: 1}, // diamond t3,t4; continuation t5; token t1
+		{Op: trace.Begin, Thread: 2},
+		{Op: trace.Get, Thread: 2, Tokens: []sp.ThreadID{1}},
+		{Op: trace.Read, Thread: 2, Addr: 7, Site: "recv.go:9", HasSite: true},
+		{Op: trace.Join, Left: 5, Right: 2}, // t6
+	}
+	for _, name := range sp.BackendNames() {
+		m := sp.MustMonitor(sp.WithBackend(name))
+		if err := trace.Replay(bytes.NewReader(encode(t, synced)), m); err != nil {
+			t.Fatalf("%s: Replay: %v", name, err)
+		}
+		rep := m.Report()
+		if len(rep.Races) != 0 {
+			t.Fatalf("%s: false race on channel-synchronized replay: %v", name, rep.Races)
+		}
+		if rep.Puts != 1 || rep.Gets != 1 || rep.Threads != 7 {
+			t.Fatalf("%s: puts=%d gets=%d threads=%d, want 1/1/7", name, rep.Puts, rep.Gets, rep.Threads)
+		}
+	}
+	// The twin without the Get is the false positive this machinery
+	// exists to avoid being a false positive: here it is a real race.
+	racy := []trace.Event{
+		synced[0], synced[1], synced[2], synced[3],
+		{Op: trace.Begin, Thread: 2},
+		synced[6], synced[7],
+	}
+	m := sp.MustMonitor(sp.WithBackend("sp-order"))
+	if err := trace.Replay(bytes.NewReader(encode(t, racy)), m); err != nil {
+		t.Fatalf("Replay racy twin: %v", err)
+	}
+	if rep := m.Report(); len(rep.Races) != 1 {
+		t.Fatalf("racy twin: races = %v, want 1", rep.Races)
+	}
+
+	// A critical section spanning a Put: the continuation releases the
+	// lock the original thread acquired.
+	locked := []trace.Event{
+		{Op: trace.Fork, Parent: 0}, // t1, t2
+		{Op: trace.Begin, Thread: 1},
+		{Op: trace.Acquire, Thread: 1, Lock: 4},
+		{Op: trace.Put, Thread: 1}, // t1 -> t5, lock carried over
+		{Op: trace.Release, Thread: 5, Lock: 4},
+		{Op: trace.Begin, Thread: 2},
+		{Op: trace.Get, Thread: 2, Tokens: []sp.ThreadID{1}},
+		{Op: trace.Join, Left: 5, Right: 2},
+	}
+	m = sp.MustMonitor(sp.WithBackend("sp-order"))
+	if err := trace.Replay(bytes.NewReader(encode(t, locked)), m); err != nil {
+		t.Fatalf("Replay with lock across put: %v", err)
 	}
 }
 
@@ -179,7 +249,7 @@ func TestStat(t *testing.T) {
 		t.Fatalf("Stat: %v", err)
 	}
 	want := trace.Stats{
-		Version: 1, Bytes: int64(len(data)), Events: 10,
+		Version: 2, Bytes: int64(len(data)), Events: 10,
 		Forks: 1, Joins: 1, Begins: 3, Reads: 2, Writes: 1,
 		Acquires: 1, Releases: 1,
 		Threads: 4, PeakParallel: 2, Addrs: 1, Locks: 1, Sites: 1,
